@@ -1,0 +1,43 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Each bench runs one experiment driver once (these are minutes-scale
+experiments, not microbenchmarks), prints the regenerated table, saves
+it under ``benchmarks/results/`` and asserts the paper's qualitative
+shape (who wins, in which direction the errors go).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, rendered: str) -> None:
+    """Persist a rendered table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered, encoding="utf-8")
+    print()
+    print(rendered)
+
+
+def by_key(rows: list[dict], **filters) -> list[dict]:
+    """Rows matching all the given column=value filters."""
+    result = []
+    for row in rows:
+        if all(row.get(column) == value for column, value in filters.items()):
+            result.append(row)
+    return result
+
+
+def metric(rows: list[dict], column: str, **filters) -> float:
+    """The single metric value selected by the filters."""
+    matched = by_key(rows, **filters)
+    assert matched, f"no row matches {filters}"
+    values = [float(row[column]) for row in matched]
+    return sum(values) / len(values)
+
+
+def run_once(benchmark, fn):
+    """Run a driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,40 @@
+"""Figure 9: the nine optimistic estimators + P* on CEG_O, acyclic queries.
+
+Paper shape: with any path-length heuristic, max-aggr beats avg-aggr
+beats min-aggr (the latter underestimates almost everywhere); max-hop
+performs at least as well as min-hop; P* shows little room left.
+"""
+
+from _common import metric, run_once, save_result
+
+from repro.experiments import ExperimentConfig, figure9_acyclic_space
+
+CONFIG = ExperimentConfig(scale=0.08, per_template=2, acyclic_sizes=(6, 7))
+
+
+def test_fig09_acyclic_space(benchmark):
+    rows, rendered = run_once(benchmark, lambda: figure9_acyclic_space(CONFIG))
+    save_result("fig09_acyclic_space", rendered)
+    datasets = sorted({row["dataset"] for row in rows})
+    assert len(datasets) >= 4
+
+    def mean_over_datasets(estimator: str, column: str) -> float:
+        return sum(
+            metric(rows, column, dataset=d, estimator=estimator)
+            for d in datasets
+        ) / len(datasets)
+
+    key = "mean(log q, -top10%)"
+    # max-aggr < avg-aggr < min-aggr in trimmed mean log q-error.
+    for hop in ("max-hop", "min-hop", "all-hops"):
+        assert mean_over_datasets(f"{hop}-max", key) <= mean_over_datasets(
+            f"{hop}-avg", key
+        ) * 1.1 + 0.05
+        assert mean_over_datasets(f"{hop}-avg", key) <= mean_over_datasets(
+            f"{hop}-min", key
+        ) * 1.1 + 0.05
+    # The min aggregator underestimates nearly always (§6.2.1).
+    assert mean_over_datasets("all-hops-min", "under%") > 60.0
+    # P* (the oracle) dominates every heuristic.
+    star = mean_over_datasets("P*", key)
+    assert star <= mean_over_datasets("max-hop-max", key) + 1e-9

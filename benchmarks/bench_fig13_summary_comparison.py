@@ -1,0 +1,43 @@
+"""Figure 13: max-hop-max vs MOLP vs CS vs SumRDF.
+
+Paper shape: MOLP never underestimates but is loose; CS (and usually
+SumRDF) underestimate nearly always; max-hop-max is unequivocally the
+most accurate summary-based estimator, often by orders of magnitude.
+"""
+
+from _common import metric, run_once, save_result
+
+from repro.experiments import ExperimentConfig, figure13_summary_comparison
+
+CONFIG = ExperimentConfig(
+    scale=0.1,
+    per_template=2,
+    acyclic_sizes=(6, 7),
+    gcare_sizes=(3, 6),
+    datasets=("imdb", "hetionet", "watdiv", "epinions", "yago"),
+)
+
+
+def test_fig13_summary_comparison(benchmark):
+    rows, rendered = run_once(
+        benchmark, lambda: figure13_summary_comparison(CONFIG)
+    )
+    save_result("fig13_summary_comparison", rendered)
+    datasets = sorted({row["dataset"] for row in rows})
+    assert len(datasets) >= 4
+
+    def mean_over(estimator: str, column: str) -> float:
+        return sum(
+            metric(rows, column, dataset=d, estimator=estimator)
+            for d in datasets
+        ) / len(datasets)
+
+    # MOLP never underestimates.
+    assert mean_over("MOLP", "under%") == 0.0
+    # CS underestimates virtually all queries (§6.4).
+    assert mean_over("CS", "under%") > 75.0
+    # max-hop-max is the most accurate overall.
+    key = "mean(log q, -top10%)"
+    best = mean_over("max-hop-max", key)
+    for other in ("MOLP", "CS", "SumRDF"):
+        assert best <= mean_over(other, key) + 1e-9, other

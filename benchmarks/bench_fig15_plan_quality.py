@@ -1,0 +1,42 @@
+"""Figure 15: plan quality under injected cardinality estimates.
+
+Paper shape: every one of the nine optimistic estimators produces plans
+at least as good as the RDF-3X default estimator (median log-speedup
+>= 0), and the max-aggregator estimators generally beat the min/avg
+ones, mirroring their estimation accuracy.
+"""
+
+from _common import by_key, metric, run_once, save_result
+
+from repro.experiments import ExperimentConfig, figure15_plan_quality
+
+CONFIG = ExperimentConfig(
+    scale=0.07,
+    per_template=2,
+    acyclic_sizes=(6, 7),
+    datasets=("dblp", "watdiv"),
+)
+
+
+def test_fig15_plan_quality(benchmark):
+    rows, rendered = run_once(benchmark, lambda: figure15_plan_quality(CONFIG))
+    save_result("fig15_plan_quality", rendered)
+    datasets = sorted({row["dataset"] for row in rows})
+    assert datasets
+
+    def mean_over(estimator: str, column: str) -> float:
+        values = [
+            metric(rows, column, dataset=d, estimator=estimator)
+            for d in datasets
+            if by_key(rows, dataset=d, estimator=estimator)
+        ]
+        return sum(values) / len(values)
+
+    # Better estimates never hurt: the accurate estimators' plans are at
+    # least as good as the magic-constant baseline's in the median.
+    assert mean_over("max-hop-max", "median log10 speedup") >= -0.05
+    # And max-hop-max plans are no worse than min-hop-min plans on mean.
+    assert (
+        mean_over("max-hop-max", "mean log10 speedup")
+        >= mean_over("min-hop-min", "mean log10 speedup") - 0.1
+    )

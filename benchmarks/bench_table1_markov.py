@@ -1,0 +1,12 @@
+"""Table 1: an example Markov table (h=2)."""
+
+from _common import run_once, save_result
+
+from repro.experiments import table1_markov_example
+
+
+def test_table1_markov_example(benchmark):
+    rows, rendered = run_once(benchmark, table1_markov_example)
+    save_result("table1_markov", rendered)
+    assert len(rows) == 3
+    assert all(row["|Path|"] > 0 for row in rows)

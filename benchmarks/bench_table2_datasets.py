@@ -1,0 +1,18 @@
+"""Table 2: dataset descriptions."""
+
+from _common import run_once, save_result
+
+from repro.experiments import ExperimentConfig, table2_datasets
+
+CONFIG = ExperimentConfig(scale=0.12)
+
+
+def test_table2_datasets(benchmark):
+    rows, rendered = run_once(benchmark, lambda: table2_datasets(CONFIG))
+    save_result("table2_datasets", rendered)
+    assert len(rows) == 6
+    names = {row["dataset"] for row in rows}
+    assert names == {"imdb", "yago", "dblp", "watdiv", "hetionet", "epinions"}
+    # IMDb is the largest dataset, as in the paper's Table 2.
+    sizes = {row["dataset"]: row["|E|"] for row in rows}
+    assert sizes["imdb"] == max(sizes.values())

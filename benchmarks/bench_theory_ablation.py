@@ -1,0 +1,67 @@
+"""Ablation: the combinatorial MOLP solution vs the numeric LP.
+
+Observation 2 of §5.1 says CEG_M lets MOLP be solved with a shortest
+path instead of an LP solver; this bench demonstrates both agreement
+and the speed advantage of the combinatorial route, plus the CBS
+brute-force equivalence (Appendix B).
+"""
+
+import pytest
+from _common import run_once, save_result
+
+from repro.catalog import DegreeCatalog
+from repro.core import cbs_bound, molp_bound, molp_lp_bound
+from repro.datasets import job_like_workload, load_dataset
+from repro.experiments.report import format_table
+
+
+def _setup():
+    graph = load_dataset("dblp", 0.05)
+    workload = job_like_workload(graph, per_template=1, seed=3)
+    catalog = DegreeCatalog(graph, h=1)
+    return graph, workload, catalog
+
+
+def test_molp_dijkstra_vs_lp(benchmark):
+    graph, workload, catalog = _setup()
+
+    def run():
+        rows = []
+        for query in workload:
+            combinatorial = molp_bound(query.pattern, catalog)
+            numeric = molp_lp_bound(query.pattern, catalog)
+            cbs = cbs_bound(query.pattern, catalog)
+            rows.append(
+                {
+                    "query": query.name,
+                    "CEG_M min path": combinatorial,
+                    "MOLP LP": numeric,
+                    "CBS": cbs,
+                    "true": query.true_cardinality,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    save_result(
+        "theory_ablation",
+        format_table(rows, title="Theorem 5.1 / Appendix B: three routes to MOLP"),
+    )
+    for row in rows:
+        assert row["MOLP LP"] == pytest.approx(
+            row["CEG_M min path"], rel=1e-6, abs=1e-9
+        )
+        assert row["CBS"] == pytest.approx(row["CEG_M min path"], rel=1e-9)
+        assert row["CEG_M min path"] >= row["true"] - 1e-6
+
+
+def test_molp_dijkstra_speed(benchmark):
+    """Time just the combinatorial solution (the production path)."""
+    graph, workload, catalog = _setup()
+    patterns = [q.pattern for q in workload]
+
+    def run():
+        return [molp_bound(p, catalog) for p in patterns]
+
+    bounds = benchmark(run)
+    assert all(b >= 0 for b in bounds)

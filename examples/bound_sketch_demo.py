@@ -1,0 +1,47 @@
+"""Bound sketch (§5.2.1/5.2.2): partitioning tightens both estimator families.
+
+For one dataset and a handful of acyclic queries, sweeps the
+partitioning budget K and prints how the MOLP bound and the
+max-hop-max estimate move toward the truth — the Figure-12 experiment
+in miniature.
+
+Run with: ``python examples/bound_sketch_demo.py [dataset] [scale]``
+"""
+
+import sys
+
+from repro.core import molp_sketch_bound, optimistic_sketch_estimate
+from repro.datasets import job_like_workload, load_dataset
+from repro.experiments.metrics import q_error
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "hetionet"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.06
+    graph = load_dataset(dataset, scale)
+    workload = job_like_workload(graph, per_template=1, seed=41)[:5]
+    budgets = (1, 4, 16)
+    print(f"dataset {dataset}: {graph}, {len(workload)} queries\n")
+
+    for query in workload:
+        truth = query.true_cardinality
+        print(f"{query.name}  (true = {truth:.0f})")
+        print(f"  {'K':>4s} {'MOLP bound':>14s} {'q':>8s} "
+              f"{'max-hop-max':>14s} {'q':>8s}")
+        for budget in budgets:
+            bound = molp_sketch_bound(graph, query.pattern, budget, h=2)
+            estimate = optimistic_sketch_estimate(
+                graph, query.pattern, budget, h=2
+            )
+            print(
+                f"  {budget:4d} {bound:14.1f} {q_error(bound, truth):8.2f} "
+                f"{estimate:14.1f} {q_error(estimate, truth):8.2f}"
+            )
+        print()
+    print("The MOLP bound shrinks monotonically with K (it is provably")
+    print("never worse); the optimistic estimate usually tightens too —")
+    print("tuples hashing to different buckets can never join (§5.2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Large cyclic queries: why CEG_O overestimates and how CEG_OCR fixes it.
+
+Reproduces §4.3's insight on one dataset: a 4-cycle query estimated
+through ``CEG_O`` is really estimated as a broken-open 4-*path* (paths
+vastly outnumber cycles, so the estimate balloons); ``CEG_OCR`` swaps
+the final hop's weight for a sampled cycle-closing probability and the
+estimate lands near the truth.
+
+Run with: ``python examples/cyclic_cycles.py [dataset] [scale]``
+"""
+
+import sys
+
+from repro.catalog import CycleClosingRates, MarkovTable
+from repro.core import build_ceg_o, build_ceg_ocr, estimate_from_ceg
+from repro.datasets import load_dataset
+from repro.engine import PatternSampler, count_pattern
+from repro.query import templates
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "hetionet"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+    graph = load_dataset(dataset, scale)
+    print(f"dataset {dataset} (scale {scale}): {graph}\n")
+
+    sampler = PatternSampler(graph, seed=5)
+    markov = MarkovTable(graph, h=3)
+    rates = CycleClosingRates(graph, seed=5, samples=1500)
+
+    header = (
+        f"{'template':12s} {'true':>12s} {'CEG_O max':>14s} "
+        f"{'CEG_OCR max':>14s} {'CEG_O q':>9s} {'OCR q':>9s}"
+    )
+    print(header)
+    shown = 0
+    for template_name, template in (
+        ("4-cycle", templates.cycle(4)),
+        ("5-diamond", templates.diamond_with_chord()),
+        ("6-cycle", templates.cycle(6)),
+    ):
+        for attempt in range(5):
+            instance = sampler.sample_instance(template, max_tries=100)
+            if instance is None:
+                continue
+            truth = count_pattern(graph, instance, budget=3_000_000)
+            if truth <= 0:
+                continue
+            plain = estimate_from_ceg(
+                build_ceg_o(instance, markov), "max", "max"
+            )
+            closed = estimate_from_ceg(
+                build_ceg_ocr(instance, markov, rates), "max", "max"
+            )
+
+            def q(value: float) -> float:
+                if value <= 0:
+                    return float("inf")
+                return max(value / truth, truth / value)
+
+            print(
+                f"{template_name:12s} {truth:12.0f} {plain:14.1f} "
+                f"{closed:14.1f} {q(plain):9.2f} {q(closed):9.2f}"
+            )
+            shown += 1
+            break
+    if shown == 0:
+        print("(no cyclic instances found at this scale; try a larger one)")
+    else:
+        print(
+            "\nCEG_O estimates the broken-open path (overestimates);"
+            "\nCEG_OCR's sampled closing rates pull it back toward the truth."
+        )
+
+
+if __name__ == "__main__":
+    main()

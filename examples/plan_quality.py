@@ -1,0 +1,58 @@
+"""Plan quality: better cardinality estimates make better join orders.
+
+Reproduces the Figure-15 mechanism on one dataset: inject each
+estimator's cardinalities into a Selinger-style DP optimizer, execute
+the chosen left-deep plans for real on the vectorised join engine, and
+compare the work done (intermediate tuples) against the plan chosen by
+the RDF-3X-style magic-constant estimator.
+
+Run with: ``python examples/plan_quality.py [dataset] [scale]``
+"""
+
+import math
+import sys
+
+from repro.baselines import Rdf3xDefaultEstimator
+from repro.catalog import MarkovTable
+from repro.core import all_nine_estimators
+from repro.datasets import acyclic_workload, load_dataset
+from repro.planner import execute_plan, optimize_left_deep
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "dblp"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.08
+    graph = load_dataset(dataset, scale)
+    workload = acyclic_workload(graph, per_template=2, seed=21, sizes=(6,))
+    print(f"dataset {dataset}: {graph}, {len(workload)} queries\n")
+
+    markov = MarkovTable(graph, h=2)
+    estimators = all_nine_estimators(markov)
+    baseline = Rdf3xDefaultEstimator(graph)
+
+    totals: dict[str, float] = {name: 0.0 for name in estimators}
+    baseline_total = 0.0
+    for query in workload:
+        base_plan = optimize_left_deep(query.pattern, baseline.estimate)
+        base_run = execute_plan(graph, query.pattern, base_plan.order)
+        baseline_total += base_run.cost
+        for name, estimator in estimators.items():
+            plan = optimize_left_deep(query.pattern, estimator.estimate)
+            run = execute_plan(graph, query.pattern, plan.order)
+            totals[name] += run.cost
+
+    print(f"{'estimator':14s} {'total tuples':>14s} {'speedup vs rdf3x':>18s}")
+    print(f"{'rdf3x-default':14s} {baseline_total:14.0f} {'1.00x':>18s}")
+    for name, cost in sorted(totals.items(), key=lambda kv: kv[1]):
+        speedup = baseline_total / max(cost, 1.0)
+        print(f"{name:14s} {cost:14.0f} {speedup:17.2f}x")
+    best = min(totals, key=lambda n: totals[n])
+    print(
+        f"\nbest plans come from {best!r} "
+        f"({math.log10(baseline_total / max(totals[best], 1.0)):.2f} "
+        "orders of magnitude less work than the magic-constant baseline)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Baseline estimators compared against in §6: CS, SumRDF, WJ, RDF-3X."""
+
+from repro.baselines.characteristic_sets import CharacteristicSetsEstimator
+from repro.baselines.rdf3x_default import Rdf3xDefaultEstimator
+from repro.baselines.sumrdf import SumRdfEstimator
+from repro.baselines.wanderjoin import WanderJoinEstimator
+
+__all__ = [
+    "CharacteristicSetsEstimator",
+    "SumRdfEstimator",
+    "WanderJoinEstimator",
+    "Rdf3xDefaultEstimator",
+]

@@ -1,0 +1,47 @@
+"""The RDF-3X-style default estimator used as the Figure-15 baseline.
+
+§6.6 describes the open-source RDF-3X estimator as using "basic
+statistics about the original triple counts and some 'magic' constants",
+and measures it to be far less accurate than any of the nine optimistic
+estimators (median q-error 127x underestimation on their WatDiv runs).
+
+This reproduction multiplies relation cardinalities and applies a
+per-join-variable uniform-domain selectivity ``magic / |V|`` for every
+extra atom sharing the variable.  On skewed data the uniform-domain
+assumption underestimates heavily, matching the paper's observation.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.pattern import QueryPattern
+
+__all__ = ["Rdf3xDefaultEstimator"]
+
+
+class Rdf3xDefaultEstimator:
+    """Triple counts + magic-constant join selectivities."""
+
+    def __init__(self, graph: LabeledDiGraph, magic: float = 10.0):
+        self.graph = graph
+        self.magic = magic
+
+    @property
+    def name(self) -> str:
+        """Display name used in reports."""
+        return "rdf3x-default"
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Triple-count product scaled by magic join selectivities."""
+        estimate = 1.0
+        for edge in query.edges:
+            estimate *= float(self.graph.cardinality(edge.label))
+        if estimate == 0.0:
+            return 0.0
+        domain = max(float(self.graph.num_vertices), 1.0)
+        selectivity = min(self.magic / domain, 1.0)
+        for var in query.variables:
+            extra_atoms = query.degree(var) - 1
+            if extra_atoms > 0:
+                estimate *= selectivity ** extra_atoms
+        return max(estimate, 1e-12)

@@ -1,0 +1,128 @@
+"""WanderJoin (WJ) sampling estimator [Li, Wu, Yi, Zhao, SIGMOD 2016],
+as used by G-CARE and §6.5.
+
+WJ samples random walks over the query's atoms in a fixed walk order
+(a spanning order of the query graph): the first atom is a uniformly
+random edge of its relation, each subsequent tree atom extends the walk
+through a uniformly random matching edge, and closure atoms act as
+existence filters.  Each completed walk contributes the product of the
+candidate counts along the way (a Horvitz–Thompson weight), which is an
+unbiased estimate of the join size; failed walks contribute zero.
+
+The sampling ratio ``r`` determines the number of walks:
+``max(1, round(r * |R_first|))``, matching the paper's setup where WJ
+samples a fraction of the edges matching the starting atom.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.pattern import QueryPattern
+from repro.query.shape import spanning_tree_and_closures
+
+__all__ = ["WanderJoinEstimator"]
+
+
+class WanderJoinEstimator:
+    """Random-walk cardinality estimator."""
+
+    def __init__(self, graph: LabeledDiGraph, seed: int = 0):
+        self.graph = graph
+        self.rng = random.Random(seed)
+
+    def _walk_order(self, query: QueryPattern) -> list[int]:
+        """Tree atoms (smallest starting relation first) then closures."""
+        tree, closures = spanning_tree_and_closures(query)
+        if not tree:
+            return closures
+        # Start from the tree atom with the smallest relation: lower
+        # variance per walk for the same number of samples.
+        best = min(tree, key=lambda i: self.graph.cardinality(query.edges[i].label))
+        # Re-grow the walk order from `best` so every subsequent atom
+        # touches an already-bound variable.
+        ordered = [best]
+        bound = set(query.edges[best].variables())
+        remaining = set(tree) - {best}
+        while remaining:
+            nxt = next(
+                (
+                    i
+                    for i in sorted(remaining)
+                    if query.edges[i].src in bound or query.edges[i].dst in bound
+                ),
+                None,
+            )
+            if nxt is None:  # disconnected tree part (connected queries: never)
+                nxt = min(remaining)
+            ordered.append(nxt)
+            bound.update(query.edges[nxt].variables())
+            remaining.discard(nxt)
+        return ordered + closures
+
+    def _single_walk(self, query: QueryPattern, order: list[int]) -> float:
+        binding: dict[str, int] = {}
+        weight = 1.0
+        for position, index in enumerate(order):
+            edge = query.edges[index]
+            if edge.label not in self.graph:
+                return 0.0
+            relation = self.graph.relation(edge.label)
+            src_bound = edge.src in binding
+            dst_bound = edge.dst in binding
+            if position == 0:
+                pick = self.rng.randrange(relation.size)
+                u = int(relation.src_by_src[pick])
+                v = int(relation.dst_by_src[pick])
+                if edge.src == edge.dst and u != v:
+                    return 0.0
+                binding[edge.src] = u
+                binding[edge.dst] = v
+                weight = float(relation.size)
+            elif src_bound and dst_bound:
+                if not relation.has_edge(
+                    binding[edge.src], binding[edge.dst], self.graph.num_vertices
+                ):
+                    return 0.0
+            elif src_bound:
+                candidates = relation.out_neighbors(binding[edge.src])
+                if candidates.size == 0:
+                    return 0.0
+                binding[edge.dst] = int(
+                    candidates[self.rng.randrange(candidates.size)]
+                )
+                weight *= float(candidates.size)
+            else:
+                candidates = relation.in_neighbors(binding[edge.dst])
+                if candidates.size == 0:
+                    return 0.0
+                binding[edge.src] = int(
+                    candidates[self.rng.randrange(candidates.size)]
+                )
+                weight *= float(candidates.size)
+        return weight
+
+    def estimate(self, query: QueryPattern, ratio: float = 0.005) -> float:
+        """Mean Horvitz–Thompson weight over ``r * |R_first|`` walks."""
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("sampling ratio must be in (0, 1]")
+        order = self._walk_order(query)
+        first = query.edges[order[0]]
+        base = self.graph.cardinality(first.label)
+        if base == 0:
+            return 0.0
+        walks = max(1, round(ratio * base))
+        total = 0.0
+        for _ in range(walks):
+            total += self._single_walk(query, order)
+        return total / walks
+
+    def timed_estimate(
+        self, query: QueryPattern, ratio: float = 0.005
+    ) -> tuple[float, float]:
+        """(estimate, elapsed seconds) for the Figure-14 comparison."""
+        started = time.perf_counter()
+        value = self.estimate(query, ratio)
+        return value, time.perf_counter() - started

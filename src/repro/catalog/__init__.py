@@ -1,0 +1,24 @@
+"""Statistics catalogs: Markov tables, degree stats, cycle rates, sketches."""
+
+from repro.catalog.cycle_rates import CycleClosingRates
+from repro.catalog.degrees import DegreeCatalog, StatRelation, group_max_distinct
+from repro.catalog.entropy import EntropyCatalog, degree_irregularity
+from repro.catalog.markov import MarkovTable
+from repro.catalog.partitioned import (
+    BoundSketchPartitioner,
+    buckets_per_attribute,
+    hash_bucket,
+)
+
+__all__ = [
+    "MarkovTable",
+    "DegreeCatalog",
+    "StatRelation",
+    "group_max_distinct",
+    "CycleClosingRates",
+    "EntropyCatalog",
+    "degree_irregularity",
+    "BoundSketchPartitioner",
+    "buckets_per_attribute",
+    "hash_bucket",
+]

@@ -1,0 +1,239 @@
+"""Maximum-degree statistics for pessimistic estimators (§5.1).
+
+MOLP's inputs are the statistics ``deg(X, Y, R_i)`` — the maximum, over
+values ``v`` of attribute set ``X``, of the number of distinct
+``Y``-tuples in ``π_Y R_i`` whose ``X``-part equals ``v`` — for every
+relation ``R_i`` and every ``X ⊆ Y ⊆ attrs(R_i)``.
+
+§5.1.1 extends this to the outputs of small joins: a stored 2-join is
+treated as an additional ternary relation.  :class:`StatRelation` wraps
+either kind (a subpattern of the query) by materialising its match table
+once and answering every ``deg(X, Y)`` from grouped distinct counts.
+
+:class:`DegreeCatalog` caches :class:`StatRelation` objects per
+canonical pattern so a workload shares statistics across queries, and
+enforces that MOLP uses joins of at most the Markov-table size ``h``
+(the "strict superset of the statistics used by optimistic estimators"
+guarantee of §6.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.join import extend_by_edge, start_table
+from repro.errors import MissingStatisticError
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.canonical import canonical_key
+from repro.query.pattern import QueryPattern
+from repro.query.shape import spanning_tree_and_closures
+
+__all__ = ["StatRelation", "DegreeCatalog", "group_max_distinct"]
+
+
+def _encode_columns(rows: np.ndarray, num_vertices: int) -> np.ndarray:
+    """Pack row tuples into scalar keys (or structured fallback)."""
+    if rows.shape[1] == 0:
+        return np.zeros(rows.shape[0], dtype=np.int64)
+    width = rows.shape[1]
+    # Check the radix encoding fits in int64.
+    if num_vertices ** width < 2 ** 62:
+        keys = rows[:, 0].astype(np.int64)
+        for column in range(1, width):
+            keys = keys * np.int64(num_vertices) + rows[:, column]
+        return keys
+    # Fallback: lexicographic unique on the raw rows via void view.
+    packed = np.ascontiguousarray(rows.astype(np.int64))
+    return packed.view([("", np.int64)] * width).reshape(-1)
+
+
+def group_max_distinct(
+    rows: np.ndarray,
+    x_cols: list[int],
+    y_cols: list[int],
+    num_vertices: int,
+) -> float:
+    """``max_v |{distinct Y-tuples with X-part == v}|`` over a match table.
+
+    ``x_cols ⊆ y_cols``.  Empty ``x_cols`` returns the total number of
+    distinct ``Y``-tuples (this is ``deg(∅, Y, R) = |π_Y R|``).
+    """
+    if rows.shape[0] == 0:
+        return 0.0
+    y_keys = _encode_columns(rows[:, y_cols], num_vertices)
+    y_unique_idx = np.unique(y_keys, return_index=True)[1]
+    if not x_cols:
+        return float(len(y_unique_idx))
+    distinct_rows = rows[y_unique_idx]
+    x_keys = _encode_columns(distinct_rows[:, x_cols], num_vertices)
+    _, counts = np.unique(x_keys, return_counts=True)
+    return float(counts.max())
+
+
+class StatRelation:
+    """A query subpattern viewed as a relation with degree statistics."""
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        pattern: QueryPattern,
+        max_rows: int | None = 5_000_000,
+    ):
+        self.pattern = pattern
+        self.attributes = frozenset(pattern.variables)
+        self._num_vertices = graph.num_vertices
+        self._degrees: dict[tuple[frozenset[str], frozenset[str]], float] = {}
+        self._columns: tuple[str, ...]
+        self._rows: np.ndarray
+        self._materialise(graph, max_rows)
+
+    def _materialise(self, graph: LabeledDiGraph, max_rows: int | None) -> None:
+        tree, closures = spanning_tree_and_closures(self.pattern)
+        order = tree + closures
+        table = start_table(graph, self.pattern.edges[order[0]])
+        for index in order[1:]:
+            table = extend_by_edge(
+                graph, table, self.pattern.edges[index], max_rows=max_rows
+            )
+        self._columns = table.variables
+        self._rows = table.rows
+
+    @property
+    def cardinality(self) -> float:
+        """Number of tuples (matches) in the relation."""
+        return float(self._rows.shape[0])
+
+    def deg(self, x: frozenset[str], y: frozenset[str]) -> float:
+        """``deg(X, Y)`` with ``X ⊆ Y ⊆ attrs`` (set-projection semantics)."""
+        if not x <= y or not y <= self.attributes:
+            raise MissingStatisticError(
+                f"deg requires X ⊆ Y ⊆ {set(self.attributes)}; "
+                f"got X={set(x)}, Y={set(y)}"
+            )
+        key = (x, y)
+        cached = self._degrees.get(key)
+        if cached is None:
+            col_of = {var: i for i, var in enumerate(self._columns)}
+            cached = group_max_distinct(
+                self._rows,
+                x_cols=[col_of[v] for v in sorted(x)],
+                y_cols=[col_of[v] for v in sorted(y)],
+                num_vertices=self._num_vertices,
+            )
+            self._degrees[key] = cached
+        return cached
+
+
+class DegreeCatalog:
+    """Per-query provider of the relations MOLP may use.
+
+    For a query ``Q`` and join-statistics size ``h``, the available
+    relations are every connected subpattern of ``Q`` with at most ``h``
+    atoms (base atoms for ``h = 1``).  StatRelations are cached across
+    queries by canonical pattern, with variables mapped back to the
+    query's own names on the way out.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        h: int = 1,
+        max_rows: int | None = 5_000_000,
+    ):
+        if h < 1:
+            raise ValueError("degree catalog needs h >= 1")
+        self.graph = graph
+        self.h = h
+        self.max_rows = max_rows
+        self._cache: dict[tuple, StatRelation] = {}
+
+    def relation_for(self, pattern: QueryPattern) -> StatRelation:
+        """The StatRelation of a (connected, ≤ h atoms) subpattern."""
+        if len(pattern) > self.h or not pattern.is_connected():
+            raise MissingStatisticError(
+                f"no stored statistics for pattern of size {len(pattern)}"
+            )
+        key = canonical_key(pattern)
+        cached = self._cache.get(key)
+        if cached is None or cached.pattern.variables != pattern.variables:
+            # Cache canonical stats but expose the caller's variable names:
+            # rebuild a view with the same match table under renaming.
+            cached = self._cache.get(key)
+            if cached is None:
+                cached = StatRelation(self.graph, pattern, self.max_rows)
+                self._cache[key] = cached
+                return cached
+            return self._renamed_view(cached, pattern)
+        return cached
+
+    def _renamed_view(
+        self, relation: StatRelation, pattern: QueryPattern
+    ) -> StatRelation:
+        """A StatRelation for ``pattern`` sharing ``relation``'s table."""
+        mapping = _isomorphism(relation.pattern, pattern)
+        view = StatRelation.__new__(StatRelation)
+        view.pattern = pattern
+        view.attributes = frozenset(pattern.variables)
+        view._num_vertices = relation._num_vertices
+        view._degrees = {}
+        view._columns = tuple(mapping[v] for v in relation._columns)
+        view._rows = relation._rows
+        return view
+
+    def stat_relations(self, query: QueryPattern) -> list[StatRelation]:
+        """All stored relations usable for ``query`` (atoms + small joins)."""
+        result = []
+        for subset in query.connected_edge_subsets(max_size=self.h):
+            result.append(self.relation_for(query.subpattern(subset)))
+        return result
+
+
+def _isomorphism(source: QueryPattern, target: QueryPattern) -> dict[str, str]:
+    """A variable mapping turning ``source`` into ``target``.
+
+    Both patterns are small (≤ h atoms) and known to share a canonical
+    key, so a backtracking search over atom correspondences terminates
+    immediately.
+    """
+    target_edges = list(target.edges)
+
+    def backtrack(
+        index: int, mapping: dict[str, str], used: set[int]
+    ) -> dict[str, str] | None:
+        if index == len(source.edges):
+            return dict(mapping)
+        edge = source.edges[index]
+        for position, candidate in enumerate(target_edges):
+            if position in used or candidate.label != edge.label:
+                continue
+            bound_src = mapping.get(edge.src)
+            bound_dst = mapping.get(edge.dst)
+            if bound_src not in (None, candidate.src):
+                continue
+            if bound_dst not in (None, candidate.dst):
+                continue
+            if bound_src is None and candidate.src in mapping.values():
+                if edge.src not in mapping:
+                    conflict = any(
+                        mapping.get(k) == candidate.src for k in mapping
+                    )
+                    if conflict:
+                        continue
+            mapping2 = dict(mapping)
+            mapping2[edge.src] = candidate.src
+            mapping2[edge.dst] = candidate.dst
+            if len(set(mapping2.values())) != len(mapping2):
+                continue
+            used.add(position)
+            found = backtrack(index + 1, mapping2, used)
+            if found is not None:
+                return found
+            used.discard(position)
+        return None
+
+    found = backtrack(0, {}, set())
+    if found is None:
+        raise MissingStatisticError(
+            "internal error: cached pattern is not isomorphic to request"
+        )
+    return found

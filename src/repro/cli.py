@@ -1,0 +1,99 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro fig9  --scale 0.08 --per-template 2
+    python -m repro all   --scale 0.05 --per-template 1 --out results/
+
+Each experiment prints its table; ``--out DIR`` additionally writes one
+``.txt`` per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ExperimentConfig,
+    figure9_acyclic_space,
+    figure10_cyclic_triangles,
+    figure11_large_cycles,
+    figure12_bound_sketch,
+    figure13_summary_comparison,
+    figure14_wanderjoin,
+    figure15_plan_quality,
+    table1_markov_example,
+    table2_datasets,
+)
+
+EXPERIMENTS = {
+    "table1": lambda config: table1_markov_example(),
+    "table2": table2_datasets,
+    "fig9": figure9_acyclic_space,
+    "fig10": figure10_cyclic_triangles,
+    "fig11": figure11_large_cycles,
+    "fig12": figure12_bound_sketch,
+    "fig13": figure13_summary_comparison,
+    "fig14": figure14_wanderjoin,
+    "fig15": figure15_plan_quality,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('list' to enumerate)",
+    )
+    parser.add_argument("--scale", type=float, default=0.08,
+                        help="dataset scale factor (default 0.08)")
+    parser.add_argument("--per-template", type=int, default=2,
+                        help="workload instances per template (default 2)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--h", type=int, default=3,
+                        help="Markov table size for the estimator space")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to write result tables into")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiment(s); returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    config = ExperimentConfig(
+        scale=args.scale,
+        per_template=args.per_template,
+        seed=args.seed,
+        h=args.h,
+    )
+    chosen = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in chosen:
+        started = time.perf_counter()
+        _, rendered = EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - started
+        print(rendered)
+        print(f"[{name} done in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(rendered, encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

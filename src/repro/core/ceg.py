@@ -1,0 +1,133 @@
+"""The generic Cardinality Estimation Graph (§3).
+
+A CEG is a DAG whose vertices are sub-queries and whose edges carry
+*extension rates*: the estimated (or bounded) cardinality of the larger
+sub-query relative to the smaller one.  Every bottom-to-top path from the
+``source`` (∅) to the ``target`` (the full query) yields one estimate —
+the product of the extension rates along it.
+
+This module is agnostic to what vertices mean: ``CEG_O`` uses frozensets
+of query-edge indexes, ``CEG_M`` uses frozensets of attributes.  The only
+structural requirement is acyclicity with a rank function (vertex "size")
+that strictly increases along edges, which all the paper's CEGs satisfy
+once projection edges are removed (Observation 3 / Appendix A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+__all__ = ["CEGEdge", "CEG"]
+
+NodeKey = Hashable
+
+
+@dataclass(frozen=True)
+class CEGEdge:
+    """One extension edge of a CEG.
+
+    ``payload`` optionally carries builder-specific metadata (e.g. which
+    statistic relation and attribute sets produced the edge) for
+    consumers like the bound sketch that must re-interpret paths.
+    """
+
+    source: NodeKey
+    target: NodeKey
+    rate: float
+    description: str = ""
+    payload: object = None
+
+
+@dataclass
+class CEG:
+    """A cardinality estimation graph with a single source and target."""
+
+    source: NodeKey
+    target: NodeKey
+    _out: dict[NodeKey, list[CEGEdge]] = field(default_factory=dict)
+    _rank: dict[NodeKey, int] = field(default_factory=dict)
+
+    def add_node(self, key: NodeKey, rank: int) -> None:
+        """Register a vertex with its topological rank (sub-query size)."""
+        existing = self._rank.get(key)
+        if existing is not None and existing != rank:
+            raise ValueError(f"node {key!r} re-registered with rank {rank}")
+        self._rank[key] = rank
+        self._out.setdefault(key, [])
+
+    def add_edge(
+        self,
+        source: NodeKey,
+        target: NodeKey,
+        rate: float,
+        description: str = "",
+        payload: object = None,
+    ) -> None:
+        """Add an extension edge; both endpoints must be registered."""
+        if source not in self._rank or target not in self._rank:
+            raise ValueError("register nodes before adding edges")
+        if self._rank[target] <= self._rank[source]:
+            raise ValueError(
+                f"edge {source!r} -> {target!r} does not increase rank"
+            )
+        self._out[source].append(
+            CEGEdge(source, target, float(rate), description, payload)
+        )
+
+    @property
+    def nodes(self) -> list[NodeKey]:
+        """All registered vertices."""
+        return list(self._rank)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of extension edges."""
+        return sum(len(edges) for edges in self._out.values())
+
+    def out_edges(self, key: NodeKey) -> list[CEGEdge]:
+        """Extension edges leaving a vertex."""
+        return self._out.get(key, [])
+
+    def rank(self, key: NodeKey) -> int:
+        """The registered topological rank of a vertex."""
+        return self._rank[key]
+
+    def topological_order(self) -> list[NodeKey]:
+        """Vertices sorted by rank (a valid topological order)."""
+        return sorted(self._rank, key=lambda k: (self._rank[k], repr(k)))
+
+    def iter_edges(self) -> Iterable[CEGEdge]:
+        """Iterate every edge of the CEG."""
+        for edges in self._out.values():
+            yield from edges
+
+    def prune_unreachable(self) -> None:
+        """Drop vertices that cannot lie on a (source, target) path."""
+        forward: set[NodeKey] = set()
+        stack = [self.source]
+        while stack:
+            node = stack.pop()
+            if node in forward:
+                continue
+            forward.add(node)
+            for edge in self.out_edges(node):
+                stack.append(edge.target)
+        incoming: dict[NodeKey, list[NodeKey]] = {}
+        for edge in self.iter_edges():
+            incoming.setdefault(edge.target, []).append(edge.source)
+        backward: set[NodeKey] = set()
+        stack = [self.target]
+        while stack:
+            node = stack.pop()
+            if node in backward:
+                continue
+            backward.add(node)
+            stack.extend(incoming.get(node, []))
+        keep = forward & backward
+        self._rank = {k: r for k, r in self._rank.items() if k in keep}
+        self._out = {
+            k: [e for e in edges if e.target in keep]
+            for k, edges in self._out.items()
+            if k in keep
+        }

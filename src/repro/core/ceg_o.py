@@ -1,0 +1,268 @@
+"""``CEG_O`` — the CEG of optimistic estimators (§4.2), and its
+cycle-closing-rate variant ``CEG_OCR`` (§4.3).
+
+Vertices are connected subsets of the query's atoms.  An edge from ``S``
+to ``S' = S ∪ D`` exists for every stored extension pattern ``E`` (a
+connected Markov-table join) with ``D = E \\ S ≠ ∅`` and intersection
+``I = E ∩ S ≠ ∅`` also stored; its rate is ``|E| / |I|`` — the average
+number of ``E``-extensions per ``I``-match (the uniformity assumption).
+
+Two rules from prior work shape the edge set:
+
+* *size-h numerators*: extension patterns always have exactly
+  ``min(h, |Q|)`` atoms when possible (largest stored join conditions on
+  the most context), falling back to smaller ``E`` only when no size-h
+  extension exists;
+* *early cycle closing* (§4.2, from reference [20]): whenever some
+  successor closes a cycle that ``S`` leaves open, only cycle-closing
+  successors are kept.
+
+``CEG_OCR`` replaces the rate of an edge whose single new atom completes
+a cycle longer than ``h`` with the sampled cycle-closing probability
+``P(E_{i-1} * E_{i+1} | E_i)`` (§4.3), falling back to the ``CEG_O``
+rate when the statistic is unavailable.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.cycle_rates import CycleClosingRates
+from repro.catalog.markov import MarkovTable
+from repro.core.ceg import CEG
+from repro.errors import EstimationError
+from repro.query.pattern import QueryPattern
+from repro.query.shape import cycle_completions, cycles
+
+__all__ = ["build_ceg_o", "build_ceg_ocr"]
+
+
+def build_ceg_o(
+    query: QueryPattern,
+    markov: MarkovTable,
+    cycle_rates: CycleClosingRates | None = None,
+    size_h_rule: bool = True,
+    early_cycle_closing: bool = True,
+) -> CEG:
+    """Build ``CEG_O`` (or ``CEG_OCR`` when ``cycle_rates`` is given).
+
+    ``size_h_rule`` and ``early_cycle_closing`` toggle the two §4.2
+    path-limiting rules (both on in the paper; off only for ablations).
+    """
+    if not query.is_connected():
+        raise EstimationError("CEG_O requires a connected query")
+    h = markov.h
+    size = min(h, len(query))
+    all_edges = frozenset(range(len(query)))
+    stored = [
+        subset
+        for subset in query.connected_edge_subsets(max_size=h)
+        if len(subset) == size or len(subset) < size
+    ]
+    by_size: dict[int, list[frozenset[int]]] = {}
+    for subset in stored:
+        by_size.setdefault(len(subset), []).append(subset)
+    query_cycles = cycles(query)
+
+    # Per-query caches: subset cardinalities and connectivity checks are
+    # hit once per (node, extension) pair, so memoising by index set cuts
+    # the dominant cost (canonical-key computation in the Markov table).
+    card_cache: dict[frozenset[int], float] = {}
+    conn_cache: dict[frozenset[int], bool] = {}
+
+    def cardinality(subset: frozenset[int]) -> float:
+        cached = card_cache.get(subset)
+        if cached is None:
+            cached = markov.cardinality(query.subpattern(subset))
+            card_cache[subset] = cached
+        return cached
+
+    def connected(subset: frozenset[int]) -> bool:
+        cached = conn_cache.get(subset)
+        if cached is None:
+            cached = query.is_connected_subset(subset)
+            conn_cache[subset] = cached
+        return cached
+
+    ceg = CEG(source=frozenset(), target=all_edges)
+    ceg.add_node(frozenset(), rank=0)
+    seen: set[frozenset[int]] = {frozenset()}
+    queue: list[frozenset[int]] = [frozenset()]
+    while queue:
+        node = queue.pop()
+        if node == all_edges:
+            continue
+        for successor, rate, note in _successors(
+            query, node, by_size, size, query_cycles,
+            cardinality, connected, cycle_rates, h,
+            size_h_rule, early_cycle_closing,
+        ):
+            if successor not in seen:
+                seen.add(successor)
+                ceg.add_node(successor, rank=len(successor))
+                queue.append(successor)
+            ceg.add_edge(node, successor, rate, note)
+    if all_edges not in seen:
+        raise EstimationError("CEG_O construction produced no complete path")
+    return ceg
+
+
+def _successors(
+    query: QueryPattern,
+    node: frozenset[int],
+    by_size: dict[int, list[frozenset[int]]],
+    size: int,
+    query_cycles: list[frozenset[int]],
+    cardinality,
+    connected,
+    cycle_rates: CycleClosingRates | None,
+    h: int,
+    size_h_rule: bool = True,
+    early_cycle_closing: bool = True,
+):
+    candidates = _raw_candidates(
+        query, node, by_size, size, cardinality, connected, size_h_rule
+    )
+    if cycle_rates is not None:
+        # Must run before the early-cycle-closing filter: otherwise that
+        # filter can leave only multi-atom closures, which would bypass
+        # the rate-weighted k-1 -> k closing step.
+        candidates = _drop_multi_atom_closures(
+            node, candidates, query_cycles, h
+        )
+    if early_cycle_closing:
+        candidates = _apply_early_cycle_closing(node, candidates, query_cycles)
+    if cycle_rates is not None:
+        candidates = _apply_cycle_rates(
+            query, node, candidates, cycle_rates, h
+        )
+    return candidates
+
+
+def _drop_multi_atom_closures(
+    node: frozenset[int],
+    candidates: list[tuple[frozenset[int], float, str]],
+    query_cycles: list[frozenset[int]],
+    h: int,
+) -> list[tuple[frozenset[int], float, str]]:
+    """Remove extensions that complete a large cycle with > 1 new atom.
+
+    ``CEG_OCR`` prices cycle closure through the sampled probability of
+    the single closing atom; a several-atoms-at-once completion would
+    silently use the broken-open-path weights §4.3 warns about.  Falls
+    back to the unfiltered list if nothing survives (degenerate shapes).
+    """
+    large_cycles = [c for c in query_cycles if len(c) > h]
+    if not large_cycles:
+        return candidates
+    kept = [
+        candidate
+        for candidate in candidates
+        if not any(
+            cycle <= candidate[0] and len(cycle - node) > 1
+            for cycle in large_cycles
+        )
+    ]
+    return kept if kept else candidates
+
+
+def _raw_candidates(
+    query: QueryPattern,
+    node: frozenset[int],
+    by_size: dict[int, list[frozenset[int]]],
+    size: int,
+    cardinality,
+    connected,
+    size_h_rule: bool = True,
+) -> list[tuple[frozenset[int], float, str]]:
+    """(successor, rate, note) triples before rule filters."""
+    result: list[tuple[frozenset[int], float, str]] = []
+    if not node:
+        for extension in by_size.get(size, []):
+            result.append(
+                (extension, cardinality(extension), f"|{sorted(extension)}|")
+            )
+        return result
+    for want in range(size, 0, -1):
+        for extension in by_size.get(want, []):
+            difference = extension - node
+            intersection = extension & node
+            if not difference or not intersection:
+                continue
+            if not connected(intersection):
+                continue
+            numerator = cardinality(extension)
+            denominator = cardinality(intersection)
+            rate = numerator / denominator if denominator > 0 else 0.0
+            note = f"|{sorted(extension)}|/|{sorted(intersection)}|"
+            result.append((node | difference, rate, note))
+        if result and size_h_rule:
+            # Size-h numerator rule: only fall back to smaller extension
+            # joins when no size-h extension exists at all.
+            break
+    return result
+
+
+def _apply_early_cycle_closing(
+    node: frozenset[int],
+    candidates: list[tuple[frozenset[int], float, str]],
+    query_cycles: list[frozenset[int]],
+) -> list[tuple[frozenset[int], float, str]]:
+    def closes_cycle(successor: frozenset[int]) -> bool:
+        return any(
+            cycle <= successor and not cycle <= node for cycle in query_cycles
+        )
+
+    closing = [c for c in candidates if closes_cycle(c[0])]
+    return closing if closing else candidates
+
+
+def _apply_cycle_rates(
+    query: QueryPattern,
+    node: frozenset[int],
+    candidates: list[tuple[frozenset[int], float, str]],
+    cycle_rates: CycleClosingRates,
+    h: int,
+) -> list[tuple[frozenset[int], float, str]]:
+    """Swap closing-edge rates for sampled closing probabilities.
+
+    When a single new atom would complete a large cycle, ``CEG_OCR``
+    keeps only those single-atom closing extensions (with probability
+    weights); other candidates would silently estimate the broken-open
+    pattern that §4.3 shows overestimates.
+    """
+    completions = cycle_completions(query, node, h)
+    if not completions:
+        return candidates
+    replaced: list[tuple[frozenset[int], float, str]] = []
+    seen_closures: set[frozenset[int]] = set()
+    for successor, rate, note in candidates:
+        difference = successor - node
+        if len(difference) == 1:
+            (atom,) = tuple(difference)
+            if atom in completions:
+                if successor in seen_closures:
+                    continue
+                seen_closures.add(successor)
+                probability = cycle_rates.rate(
+                    query, completions[atom], atom
+                )
+                if probability is not None:
+                    replaced.append(
+                        (successor, probability, f"P(close {atom})")
+                    )
+                else:
+                    replaced.append((successor, rate, note))
+                continue
+        replaced.append((successor, rate, note))
+    only_closing = [
+        c for c in replaced if any(a in completions for a in (c[0] - node))
+    ]
+    return only_closing if only_closing else replaced
+
+
+def build_ceg_ocr(
+    query: QueryPattern,
+    markov: MarkovTable,
+    cycle_rates: CycleClosingRates,
+) -> CEG:
+    """Build ``CEG_OCR`` (§4.3): ``CEG_O`` with cycle-closing rates."""
+    return build_ceg_o(query, markov, cycle_rates=cycle_rates)

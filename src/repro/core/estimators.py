@@ -1,0 +1,159 @@
+"""User-facing estimator objects.
+
+* :class:`OptimisticEstimator` — the §4.2 space: a Markov table, a CEG
+  (``CEG_O`` or, when cycle rates are supplied, ``CEG_OCR``), one of
+  three path-length heuristics and one of three aggregators.  The
+  paper's recommended configuration is ``max-hop-max``; prior work maps
+  to ``max-hop`` (Markov tables [2]), ``min-hop`` (graph summaries [17])
+  and ``min-hop-min`` (graph catalogue [20]).
+* :class:`PStarOracle` — the §6.2.3 thought-experiment oracle that picks
+  the most accurate path (needs the true cardinality).
+* :class:`MolpEstimator` — the pessimistic MOLP/CBS bound via the
+  ``CEG_M`` minimum-weight path, with optional bound sketch.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.cycle_rates import CycleClosingRates
+from repro.catalog.degrees import DegreeCatalog
+from repro.catalog.markov import MarkovTable
+from repro.core.bound_sketch import molp_sketch_bound
+from repro.core.ceg import CEG
+from repro.core.ceg_m import molp_bound
+from repro.core.ceg_o import build_ceg_o
+from repro.core.paths import (
+    AGGREGATOR_CHOICES,
+    PATH_LENGTH_CHOICES,
+    distinct_estimates,
+    estimate_from_ceg,
+)
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.pattern import QueryPattern
+
+__all__ = [
+    "OptimisticEstimator",
+    "PStarOracle",
+    "MolpEstimator",
+    "all_nine_estimators",
+]
+
+
+class OptimisticEstimator:
+    """One point of the §4.2 heuristic space over ``CEG_O``/``CEG_OCR``."""
+
+    def __init__(
+        self,
+        markov: MarkovTable,
+        path_length: str = "max",
+        aggregator: str = "max",
+        cycle_rates: CycleClosingRates | None = None,
+    ):
+        if path_length not in PATH_LENGTH_CHOICES:
+            raise ValueError(f"path_length must be one of {PATH_LENGTH_CHOICES}")
+        if aggregator not in AGGREGATOR_CHOICES:
+            raise ValueError(f"aggregator must be one of {AGGREGATOR_CHOICES}")
+        self.markov = markov
+        self.path_length = path_length
+        self.aggregator = aggregator
+        self.cycle_rates = cycle_rates
+        self._ceg_cache: dict[QueryPattern, CEG] = {}
+
+    @property
+    def name(self) -> str:
+        """Paper-style label, e.g. ``max-hop-max`` or ``all-hops-avg``."""
+        hop = "all-hops" if self.path_length == "all" else f"{self.path_length}-hop"
+        return f"{hop}-{self.aggregator}"
+
+    def build_ceg(self, query: QueryPattern) -> CEG:
+        """The (cached) CEG for a query."""
+        cached = self._ceg_cache.get(query)
+        if cached is None:
+            cached = build_ceg_o(query, self.markov, cycle_rates=self.cycle_rates)
+            if len(self._ceg_cache) > 256:
+                self._ceg_cache.clear()
+            self._ceg_cache[query] = cached
+        return cached
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Cardinality estimate for a connected query."""
+        return estimate_from_ceg(
+            self.build_ceg(query), self.path_length, self.aggregator
+        )
+
+
+class PStarOracle:
+    """The P* oracle: the path estimate closest to the true cardinality."""
+
+    def __init__(
+        self,
+        markov: MarkovTable,
+        cycle_rates: CycleClosingRates | None = None,
+        cap: int = 50_000,
+    ):
+        self.markov = markov
+        self.cycle_rates = cycle_rates
+        self.cap = cap
+
+    def estimate(self, query: QueryPattern, true_cardinality: float) -> float:
+        """Best achievable estimate among all CEG paths."""
+        ceg = build_ceg_o(query, self.markov, cycle_rates=self.cycle_rates)
+        estimates = distinct_estimates(ceg, cap=self.cap)
+        return min(
+            estimates,
+            key=lambda e: _q_error(e, true_cardinality),
+        )
+
+
+def _q_error(estimate: float, truth: float) -> float:
+    if truth <= 0 and estimate <= 0:
+        return 1.0
+    if truth <= 0 or estimate <= 0:
+        return float("inf")
+    return max(estimate / truth, truth / estimate)
+
+
+class MolpEstimator:
+    """The MOLP pessimistic estimator (≡ CBS on acyclic binary queries)."""
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        h: int = 2,
+        budget: int = 1,
+        max_rows: int | None = 5_000_000,
+    ):
+        self.graph = graph
+        self.h = h
+        self.budget = budget
+        self.max_rows = max_rows
+        self._catalog = DegreeCatalog(graph, h=h, max_rows=max_rows)
+
+    @property
+    def name(self) -> str:
+        """Display name used in reports (includes the sketch budget)."""
+        if self.budget > 1:
+            return f"MOLP-sketch{self.budget}"
+        return "MOLP"
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Upper bound on the query's cardinality."""
+        if self.budget > 1:
+            return molp_sketch_bound(
+                self.graph, query, self.budget, h=self.h, max_rows=self.max_rows
+            )
+        return molp_bound(query, self._catalog)
+
+
+def all_nine_estimators(
+    markov: MarkovTable,
+    cycle_rates: CycleClosingRates | None = None,
+) -> dict[str, OptimisticEstimator]:
+    """The full §4.2 space, keyed by paper-style names."""
+    estimators: dict[str, OptimisticEstimator] = {}
+    for path_length in PATH_LENGTH_CHOICES:
+        for aggregator in AGGREGATOR_CHOICES:
+            estimator = OptimisticEstimator(
+                markov, path_length, aggregator, cycle_rates=cycle_rates
+            )
+            estimators[estimator.name] = estimator
+    return estimators

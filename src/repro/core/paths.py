@@ -1,0 +1,160 @@
+"""Path statistics over a CEG: the estimator heuristic space of §4.2.
+
+Each (source, target) path is an estimate; an estimator picks a set of
+paths by *path length* (max-hop / min-hop / all-hops) and aggregates
+their estimates (max-aggr / min-aggr / avg-aggr).  Instead of
+enumerating paths (their number explodes — the paper counts 252 formulas
+for one query), a single dynamic program over the DAG keyed by
+(vertex, hop-count) tracks the count, sum, minimum and maximum of path
+products, which is exactly enough to answer all nine estimators.
+
+The P* oracle (§6.2.3) needs the full multiset of *distinct* path
+estimates; :func:`distinct_estimates` runs a second DP over value sets
+with a configurable cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ceg import CEG
+from repro.errors import EstimationError
+
+__all__ = [
+    "HopStats",
+    "PATH_LENGTH_CHOICES",
+    "AGGREGATOR_CHOICES",
+    "hop_statistics",
+    "estimate_from_ceg",
+    "distinct_estimates",
+    "min_weight_path",
+]
+
+PATH_LENGTH_CHOICES = ("max", "min", "all")
+AGGREGATOR_CHOICES = ("max", "min", "avg")
+
+
+@dataclass
+class HopStats:
+    """Aggregate over all paths reaching a vertex in a fixed hop count."""
+
+    count: float = 0.0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def absorb(self, other: "HopStats", rate: float) -> None:
+        """Fold in paths arriving through an edge with the given rate."""
+        self.count += other.count
+        self.total += other.total * rate
+        self.minimum = min(self.minimum, other.minimum * rate)
+        self.maximum = max(self.maximum, other.maximum * rate)
+
+
+def hop_statistics(ceg: CEG) -> dict[int, HopStats]:
+    """Per-hop-count path statistics at the CEG's target vertex."""
+    table: dict[object, dict[int, HopStats]] = {
+        ceg.source: {0: HopStats(count=1.0, total=1.0, minimum=1.0, maximum=1.0)}
+    }
+    for node in ceg.topological_order():
+        at_node = table.get(node)
+        if not at_node:
+            continue
+        for edge in ceg.out_edges(node):
+            into = table.setdefault(edge.target, {})
+            for hops, stats in at_node.items():
+                slot = into.get(hops + 1)
+                if slot is None:
+                    slot = HopStats()
+                    into[hops + 1] = slot
+                slot.absorb(stats, edge.rate)
+    return table.get(ceg.target, {})
+
+
+def estimate_from_ceg(
+    ceg: CEG, path_length: str, aggregator: str
+) -> float:
+    """One of the nine §4.2 estimates from a built CEG.
+
+    Raises :class:`EstimationError` when the CEG has no (source, target)
+    path — the estimator has no formula for the query.
+    """
+    if path_length not in PATH_LENGTH_CHOICES:
+        raise ValueError(f"path_length must be one of {PATH_LENGTH_CHOICES}")
+    if aggregator not in AGGREGATOR_CHOICES:
+        raise ValueError(f"aggregator must be one of {AGGREGATOR_CHOICES}")
+    per_hop = hop_statistics(ceg)
+    if not per_hop:
+        raise EstimationError("CEG has no bottom-to-top path")
+    if path_length == "max":
+        chosen = [per_hop[max(per_hop)]]
+    elif path_length == "min":
+        chosen = [per_hop[min(per_hop)]]
+    else:
+        chosen = list(per_hop.values())
+    if aggregator == "max":
+        return max(s.maximum for s in chosen)
+    if aggregator == "min":
+        return min(s.minimum for s in chosen)
+    count = sum(s.count for s in chosen)
+    total = sum(s.total for s in chosen)
+    return total / count
+
+
+def distinct_estimates(ceg: CEG, cap: int = 50_000) -> list[float]:
+    """All distinct path estimates (P* oracle input), capped.
+
+    Values are deduplicated up to 12 significant digits to absorb float
+    noise from different multiplication orders.
+    """
+    table: dict[object, set[float]] = {ceg.source: {1.0}}
+    for node in ceg.topological_order():
+        at_node = table.get(node)
+        if not at_node:
+            continue
+        for edge in ceg.out_edges(node):
+            into = table.setdefault(edge.target, set())
+            if len(into) >= cap:
+                continue
+            for value in at_node:
+                into.add(_round_sig(value * edge.rate))
+    found = table.get(ceg.target, set())
+    if not found:
+        raise EstimationError("CEG has no bottom-to-top path")
+    return sorted(found)
+
+
+def _round_sig(value: float, digits: int = 12) -> float:
+    if value == 0.0 or value != value or value in (float("inf"), float("-inf")):
+        return value
+    return float(f"%.{digits}e" % value)
+
+
+def min_weight_path(ceg: CEG) -> tuple[float, list]:
+    """Minimum-product path (as used by pessimistic estimators, §5).
+
+    Returns ``(product, edges)``.  The DAG structure makes a simple
+    topological relaxation sufficient (no Dijkstra needed); rates must be
+    non-negative, and the relaxation works on products directly.
+    """
+    best: dict[object, float] = {ceg.source: 1.0}
+    parent: dict[object, object] = {}
+    via: dict[object, object] = {}
+    for node in ceg.topological_order():
+        if node not in best:
+            continue
+        for edge in ceg.out_edges(node):
+            candidate = best[node] * edge.rate
+            if candidate < best.get(edge.target, float("inf")):
+                best[edge.target] = candidate
+                parent[edge.target] = node
+                via[edge.target] = edge
+    if ceg.target not in best:
+        raise EstimationError("CEG has no bottom-to-top path")
+    edges = []
+    node = ceg.target
+    while node != ceg.source:
+        edges.append(via[node])
+        node = parent[node]
+    edges.reverse()
+    return best[ceg.target], edges

@@ -1,0 +1,26 @@
+"""Dataset presets (Table 2) and workload generators (§6.1)."""
+
+from repro.datasets.presets import DATASETS, DatasetSpec, dataset_table, load_dataset
+from repro.datasets.workloads import (
+    WorkloadQuery,
+    acyclic_workload,
+    cyclic_workload,
+    gcare_acyclic_workload,
+    gcare_cyclic_workload,
+    job_like_workload,
+    split_cyclic_by_cycle_size,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_table",
+    "WorkloadQuery",
+    "job_like_workload",
+    "acyclic_workload",
+    "cyclic_workload",
+    "gcare_acyclic_workload",
+    "gcare_cyclic_workload",
+    "split_cyclic_by_cycle_size",
+]

@@ -1,0 +1,177 @@
+"""Workload generation (§6.1).
+
+Five workload families, matching the paper's setup:
+
+* ``job_like_workload`` — the 7 JOB-derived acyclic templates (4/5/6
+  atoms), instances by random label assignment, non-empty only;
+* ``acyclic_workload`` — 6/7/8-atom trees at every depth (Figure 8);
+* ``cyclic_workload`` — the reference-[20] cyclic templates, instances
+  found by randomly matching the template in the data (as in §6.1);
+* ``gcare_acyclic_workload`` / ``gcare_cyclic_workload`` — the G-CARE
+  star/path/tree and cycle/clique/flower/petal templates.
+
+Every instance records its template name and exact true cardinality
+(computed with the exact engine; queries whose counting exceeds the
+budget are skipped, mirroring the paper's timeout removals).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.counter import count_pattern
+from repro.engine.sampler import PatternSampler
+from repro.errors import CountBudgetExceeded
+from repro.graph.digraph import LabeledDiGraph
+from repro.query import templates as T
+from repro.query.pattern import QueryPattern
+from repro.query.shape import has_only_triangles, largest_cycle_length
+
+__all__ = [
+    "WorkloadQuery",
+    "job_like_workload",
+    "acyclic_workload",
+    "cyclic_workload",
+    "gcare_acyclic_workload",
+    "gcare_cyclic_workload",
+    "split_cyclic_by_cycle_size",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One workload instance with its ground truth."""
+
+    name: str
+    template: str
+    pattern: QueryPattern
+    true_cardinality: float
+
+
+def _instantiate(
+    graph: LabeledDiGraph,
+    inventory: dict[str, QueryPattern],
+    per_template: int,
+    seed: int,
+    count_budget: int | None,
+    randomize_directions: bool = False,
+) -> list[WorkloadQuery]:
+    """Sample non-empty instances of each template.
+
+    Labels come from matching the template in the data (guaranteeing a
+    non-empty output, the paper's acceptance criterion); instances whose
+    exact count exceeds the budget are skipped like the paper's
+    timeouts.
+    """
+    sampler = PatternSampler(graph, seed=seed)
+    rng = random.Random(seed ^ 0xABCDEF)
+    result: list[WorkloadQuery] = []
+    for template_name, template in sorted(inventory.items()):
+        produced = 0
+        attempts = 0
+        seen: set[QueryPattern] = set()
+        while produced < per_template and attempts < per_template * 30:
+            attempts += 1
+            shape = template
+            if randomize_directions:
+                shape = T.randomize_directions(template, rng)
+            instance = sampler.sample_instance(shape, max_tries=50)
+            if instance is None or instance in seen:
+                continue
+            try:
+                truth = count_pattern(graph, instance, budget=count_budget)
+            except CountBudgetExceeded:
+                continue
+            if truth <= 0:
+                continue
+            seen.add(instance)
+            produced += 1
+            result.append(
+                WorkloadQuery(
+                    name=f"{template_name}#{produced}",
+                    template=template_name,
+                    pattern=instance,
+                    true_cardinality=truth,
+                )
+            )
+    return result
+
+
+def job_like_workload(
+    graph: LabeledDiGraph,
+    per_template: int = 10,
+    seed: int = 0,
+    count_budget: int | None = 3_000_000,
+) -> list[WorkloadQuery]:
+    """The JOB-derived acyclic workload (7 templates, §6.1)."""
+    return _instantiate(
+        graph, T.job_templates(), per_template, seed, count_budget
+    )
+
+
+def acyclic_workload(
+    graph: LabeledDiGraph,
+    per_template: int = 5,
+    seed: int = 0,
+    sizes: tuple[int, ...] = (6, 7, 8),
+    count_budget: int | None = 3_000_000,
+) -> list[WorkloadQuery]:
+    """Figure 8's Acyclic workload: every depth for each size."""
+    return _instantiate(
+        graph, T.acyclic_templates(sizes), per_template, seed, count_budget
+    )
+
+
+def cyclic_workload(
+    graph: LabeledDiGraph,
+    per_template: int = 5,
+    seed: int = 0,
+    count_budget: int | None = 3_000_000,
+) -> list[WorkloadQuery]:
+    """The reference-[20] Cyclic workload."""
+    return _instantiate(
+        graph, T.cyclic_templates(), per_template, seed, count_budget
+    )
+
+
+def gcare_acyclic_workload(
+    graph: LabeledDiGraph,
+    per_template: int = 5,
+    seed: int = 0,
+    sizes: tuple[int, ...] = (3, 6, 9, 12),
+    count_budget: int | None = 3_000_000,
+) -> list[WorkloadQuery]:
+    """G-CARE-Acyclic: stars, paths and random trees of several sizes."""
+    inventory = T.gcare_acyclic_templates(random.Random(seed), sizes)
+    return _instantiate(graph, inventory, per_template, seed, count_budget)
+
+
+def gcare_cyclic_workload(
+    graph: LabeledDiGraph,
+    per_template: int = 5,
+    seed: int = 0,
+    count_budget: int | None = 3_000_000,
+) -> list[WorkloadQuery]:
+    """G-CARE-Cyclic: cycles, cliques, flowers and petals."""
+    return _instantiate(
+        graph, T.gcare_cyclic_templates(), per_template, seed, count_budget
+    )
+
+
+def split_cyclic_by_cycle_size(
+    workload: list[WorkloadQuery], h: int = 3
+) -> tuple[list[WorkloadQuery], list[WorkloadQuery]]:
+    """(triangle-only queries, queries with cycles longer than h).
+
+    The §6.2.1/§6.2.2 split: Figure 10 evaluates cyclic queries whose
+    cycles are all triangles; Figure 11 those with cycles of ≥ 4 atoms.
+    """
+    triangles_only: list[WorkloadQuery] = []
+    large_cycles: list[WorkloadQuery] = []
+    for query in workload:
+        if has_only_triangles(query.pattern):
+            triangles_only.append(query)
+        elif largest_cycle_length(query.pattern) > h:
+            large_cycles.append(query)
+    return triangles_only, large_cycles

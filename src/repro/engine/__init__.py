@@ -1,0 +1,22 @@
+"""Exact counting, sampling, and join execution over labeled graphs."""
+
+from repro.engine.acyclic_dp import count_acyclic, tree_weight_array
+from repro.engine.backtracking import count_general, two_core_edges
+from repro.engine.bruteforce import count_bruteforce
+from repro.engine.counter import count_pattern
+from repro.engine.join import BindingTable, extend_by_edge, start_table
+from repro.engine.sampler import CombinedAdjacency, PatternSampler
+
+__all__ = [
+    "count_pattern",
+    "count_acyclic",
+    "count_general",
+    "count_bruteforce",
+    "two_core_edges",
+    "tree_weight_array",
+    "BindingTable",
+    "start_table",
+    "extend_by_edge",
+    "CombinedAdjacency",
+    "PatternSampler",
+]

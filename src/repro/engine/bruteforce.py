@@ -1,0 +1,38 @@
+"""Brute-force homomorphism counting (test oracle only).
+
+Enumerates every assignment of query variables to data vertices and
+checks all atoms.  Exponential — use only on graphs with a handful of
+vertices.  The production counters in :mod:`repro.engine.counter` are
+property-tested against this module.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.pattern import QueryPattern
+
+__all__ = ["count_bruteforce"]
+
+
+def count_bruteforce(graph: LabeledDiGraph, pattern: QueryPattern) -> int:
+    """Exact homomorphism (join) count by exhaustive enumeration."""
+    variables = pattern.variables
+    total = 0
+    domain = range(graph.num_vertices)
+    for assignment in product(domain, repeat=len(variables)):
+        binding = dict(zip(variables, assignment))
+        ok = True
+        for edge in pattern.edges:
+            relation = (
+                graph.relation(edge.label) if edge.label in graph else None
+            )
+            if relation is None or not relation.has_edge(
+                binding[edge.src], binding[edge.dst], graph.num_vertices
+            ):
+                ok = False
+                break
+        if ok:
+            total += 1
+    return total

@@ -1,0 +1,59 @@
+"""Front door for exact cardinality computation.
+
+:func:`count_pattern` dispatches to the polynomial acyclic DP or the
+core-based backtracking counter, and handles disconnected patterns by
+multiplying per-component counts (the join of disconnected components is
+their Cartesian product).
+"""
+
+from __future__ import annotations
+
+from repro.engine.acyclic_dp import count_acyclic
+from repro.engine.backtracking import count_general, two_core_edges
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.pattern import QueryPattern
+
+__all__ = ["count_pattern"]
+
+
+def _components(pattern: QueryPattern) -> list[QueryPattern]:
+    remaining = set(range(len(pattern)))
+    parts: list[QueryPattern] = []
+    while remaining:
+        seed = min(remaining)
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            current = frontier.pop()
+            for var in pattern.edges[current].variables():
+                for neighbor in pattern.edges_at(var):
+                    if neighbor in remaining and neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+        remaining -= component
+        parts.append(pattern.subpattern(sorted(component)))
+    return parts
+
+
+def count_pattern(
+    graph: LabeledDiGraph,
+    pattern: QueryPattern,
+    budget: int | None = None,
+) -> float:
+    """Exact homomorphism (join-output) count of ``pattern`` in ``graph``.
+
+    ``budget`` bounds backtracking work on cyclic patterns and raises
+    :class:`repro.errors.CountBudgetExceeded` when exhausted.
+    """
+    for label in pattern.labels:
+        if label not in graph:
+            return 0.0
+    total = 1.0
+    for component in _components(pattern):
+        if two_core_edges(component):
+            total *= count_general(graph, component, budget=budget)
+        else:
+            total *= count_acyclic(graph, component)
+        if total == 0.0:
+            return 0.0
+    return total

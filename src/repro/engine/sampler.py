@@ -1,0 +1,234 @@
+"""Random sampling over labeled graphs.
+
+Two consumers need randomised access to the data graph:
+
+* workload generation (§6.1 generates cyclic query instances "by randomly
+  matching each edge of the query template one at a time in the dataset"),
+* the cycle-closing-rate statistics of ``CEG_OCR`` (§4.3 samples paths by
+  random walks).
+
+:class:`CombinedAdjacency` provides label-agnostic adjacency (all labels
+merged) with numpy-backed sorted arrays; :class:`PatternSampler` samples
+template instances and supplies the random-walk primitive.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.pattern import QueryEdge, QueryPattern
+from repro.query.shape import spanning_tree_and_closures
+
+__all__ = ["CombinedAdjacency", "PatternSampler"]
+
+
+class CombinedAdjacency:
+    """All-label adjacency with O(log m) slice lookups.
+
+    Keeps every edge as ``(src, dst, label_index)`` twice: once sorted by
+    src (outgoing view) and once by dst (incoming view).
+    """
+
+    def __init__(self, graph: LabeledDiGraph):
+        self.graph = graph
+        self.label_names = list(graph.labels)
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        lids: list[np.ndarray] = []
+        for lid, label in enumerate(self.label_names):
+            relation = graph.relation(label)
+            srcs.append(relation.src_by_src)
+            dsts.append(relation.dst_by_src)
+            lids.append(np.full(relation.size, lid, dtype=np.int64))
+        if srcs:
+            src = np.concatenate(srcs)
+            dst = np.concatenate(dsts)
+            lab = np.concatenate(lids)
+        else:
+            src = dst = lab = np.empty(0, dtype=np.int64)
+        out_order = np.argsort(src, kind="stable")
+        self.out_src = src[out_order]
+        self.out_dst = dst[out_order]
+        self.out_lab = lab[out_order]
+        in_order = np.argsort(dst, kind="stable")
+        self.in_src = src[in_order]
+        self.in_dst = dst[in_order]
+        self.in_lab = lab[in_order]
+        self.num_edges = int(src.shape[0])
+
+    def out_slice(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        """(destinations, label indexes) of edges leaving ``vertex``."""
+        lo = np.searchsorted(self.out_src, vertex, side="left")
+        hi = np.searchsorted(self.out_src, vertex, side="right")
+        return self.out_dst[lo:hi], self.out_lab[lo:hi]
+
+    def in_slice(self, vertex: int) -> tuple[np.ndarray, np.ndarray]:
+        """(sources, label indexes) of edges entering ``vertex``."""
+        lo = np.searchsorted(self.in_dst, vertex, side="left")
+        hi = np.searchsorted(self.in_dst, vertex, side="right")
+        return self.in_src[lo:hi], self.in_lab[lo:hi]
+
+    def random_edge(self, rng: random.Random) -> tuple[int, int, str] | None:
+        """A uniformly random edge as ``(src, dst, label)``."""
+        if self.num_edges == 0:
+            return None
+        index = rng.randrange(self.num_edges)
+        return (
+            int(self.out_src[index]),
+            int(self.out_dst[index]),
+            self.label_names[int(self.out_lab[index])],
+        )
+
+    def labels_between(self, u: int, v: int) -> list[str]:
+        """Labels of edges from ``u`` to ``v``."""
+        dsts, labs = self.out_slice(u)
+        mask = dsts == v
+        return [self.label_names[int(l)] for l in labs[mask]]
+
+
+class PatternSampler:
+    """Samples concrete instances of query templates from a graph."""
+
+    def __init__(self, graph: LabeledDiGraph, seed: int = 0):
+        self.graph = graph
+        self.adjacency = CombinedAdjacency(graph)
+        self.rng = random.Random(seed)
+
+    def sample_instance(
+        self, template: QueryPattern, max_tries: int = 200
+    ) -> QueryPattern | None:
+        """One non-empty instance of ``template`` (labels filled in).
+
+        Matches template edges one at a time along a spanning walk; cycle
+        closure edges require an actual data edge between the two bound
+        endpoints.  Returns None after ``max_tries`` failures (e.g. the
+        graph has no occurrence of the shape).
+        """
+        tree, closures = spanning_tree_and_closures(template)
+        order = tree + closures
+        for _ in range(max_tries):
+            instance = self._try_once(template, order)
+            if instance is not None:
+                return instance
+        return None
+
+    def _try_once(
+        self, template: QueryPattern, order: list[int]
+    ) -> QueryPattern | None:
+        binding: dict[str, int] = {}
+        labels: dict[int, str] = {}
+        for index in order:
+            edge = template.edges[index]
+            src_bound = edge.src in binding
+            dst_bound = edge.dst in binding
+            if src_bound and dst_bound:
+                found = self.adjacency.labels_between(
+                    binding[edge.src], binding[edge.dst]
+                )
+                if not found:
+                    return None
+                labels[index] = self.rng.choice(found)
+            elif src_bound:
+                dsts, labs = self.adjacency.out_slice(binding[edge.src])
+                if dsts.size == 0:
+                    return None
+                pick = self.rng.randrange(dsts.size)
+                binding[edge.dst] = int(dsts[pick])
+                labels[index] = self.adjacency.label_names[int(labs[pick])]
+            elif dst_bound:
+                srcs, labs = self.adjacency.in_slice(binding[edge.dst])
+                if srcs.size == 0:
+                    return None
+                pick = self.rng.randrange(srcs.size)
+                binding[edge.src] = int(srcs[pick])
+                labels[index] = self.adjacency.label_names[int(labs[pick])]
+            else:
+                picked = self.adjacency.random_edge(self.rng)
+                if picked is None:
+                    return None
+                u, v, label = picked
+                binding[edge.src] = u
+                binding[edge.dst] = v
+                labels[index] = label
+        return QueryPattern(
+            QueryEdge(e.src, e.dst, labels[i])
+            for i, e in enumerate(template.edges)
+        )
+
+    def random_walk_closure(
+        self,
+        first_label: str,
+        last_label: str,
+        closing_label: str,
+        directions: tuple[bool, ...],
+        closing_forward: bool,
+        samples: int,
+    ) -> tuple[int, int]:
+        """Sample open paths and count how many close into a cycle.
+
+        The open path has ``len(directions)`` steps; step ``i`` goes
+        forward (along edge direction) iff ``directions[i]``.  The first
+        step must use ``first_label`` and the last step ``last_label``;
+        intermediate steps use any label (the paper samples "paths that
+        start from E_{i-1} and end with E_{i+1}" via random walks).  A
+        path closes if a ``closing_label`` edge connects its last vertex
+        back to its first (orientation per ``closing_forward``: True
+        means last->first).
+
+        Returns ``(closed, completed)`` — completed counts walks that
+        reached the final vertex.
+        """
+        if first_label not in self.graph or last_label not in self.graph:
+            return (0, 0)
+        closing_relation = (
+            self.graph.relation(closing_label)
+            if closing_label in self.graph
+            else None
+        )
+        first_relation = self.graph.relation(first_label)
+        completed = 0
+        closed = 0
+        steps = len(directions)
+        for _ in range(samples):
+            pick = self.rng.randrange(first_relation.size)
+            u = int(first_relation.src_by_src[pick])
+            v = int(first_relation.dst_by_src[pick])
+            start, current = (u, v) if directions[0] else (v, u)
+            ok = True
+            for step in range(1, steps):
+                forward = directions[step]
+                want_label = last_label if step == steps - 1 else None
+                if want_label is None:
+                    if forward:
+                        nbrs, _ = self.adjacency.out_slice(current)
+                    else:
+                        nbrs, _ = self.adjacency.in_slice(current)
+                else:
+                    relation = self.graph.relation(want_label)
+                    if forward:
+                        nbrs = relation.out_neighbors(current)
+                    else:
+                        nbrs = relation.in_neighbors(current)
+                if nbrs.size == 0:
+                    ok = False
+                    break
+                current = int(nbrs[self.rng.randrange(nbrs.size)])
+            if not ok:
+                continue
+            completed += 1
+            if closing_relation is None:
+                continue
+            if closing_forward:
+                hit = closing_relation.has_edge(
+                    current, start, self.graph.num_vertices
+                )
+            else:
+                hit = closing_relation.has_edge(
+                    start, current, self.graph.num_vertices
+                )
+            if hit:
+                closed += 1
+        return (closed, completed)

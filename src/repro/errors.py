@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PatternError(ReproError):
+    """A query pattern is malformed (e.g. duplicate edge, bad variable)."""
+
+
+class DisconnectedPatternError(PatternError):
+    """An operation required a connected pattern but got a disconnected one."""
+
+
+class MissingStatisticError(ReproError):
+    """A statistic required by an estimator is absent from the catalog."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce an estimate for a query."""
+
+
+class CountBudgetExceeded(ReproError):
+    """Exact counting exceeded its step budget (the caller's 'timeout')."""
+
+
+class PlanningError(ReproError):
+    """The join-order planner could not build a plan."""
+
+
+class DatasetError(ReproError):
+    """A dataset file or preset is invalid."""

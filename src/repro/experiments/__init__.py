@@ -1,0 +1,41 @@
+"""Metrics, harness, reporting and per-figure experiment drivers."""
+
+from repro.experiments.figures import (
+    ExperimentConfig,
+    figure9_acyclic_space,
+    figure10_cyclic_triangles,
+    figure11_large_cycles,
+    figure12_bound_sketch,
+    figure13_summary_comparison,
+    figure14_wanderjoin,
+    figure15_plan_quality,
+    table1_markov_example,
+    table2_datasets,
+)
+from repro.experiments.harness import HarnessResult, run_harness
+from repro.experiments.per_template import per_template_breakdown
+from repro.experiments.metrics import QErrorSummary, q_error, signed_log_q, summarize
+from repro.experiments.report import format_summaries, format_table, signed_log_bar
+
+__all__ = [
+    "ExperimentConfig",
+    "table1_markov_example",
+    "table2_datasets",
+    "figure9_acyclic_space",
+    "figure10_cyclic_triangles",
+    "figure11_large_cycles",
+    "figure12_bound_sketch",
+    "figure13_summary_comparison",
+    "figure14_wanderjoin",
+    "figure15_plan_quality",
+    "HarnessResult",
+    "run_harness",
+    "per_template_breakdown",
+    "QErrorSummary",
+    "q_error",
+    "signed_log_q",
+    "summarize",
+    "format_table",
+    "format_summaries",
+    "signed_log_bar",
+]

@@ -1,0 +1,94 @@
+"""Workload-vs-estimator harness.
+
+Runs a dictionary of estimators over a workload, collecting per-query
+estimates, timings and failures (timeouts are recorded and the query is
+dropped from every estimator's distribution, the paper's convention when
+SumRDF timed out).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.datasets.workloads import WorkloadQuery
+from repro.errors import ReproError
+from repro.experiments.metrics import QErrorSummary, summarize
+from repro.query.pattern import QueryPattern
+
+__all__ = ["EstimatorLike", "HarnessResult", "run_harness"]
+
+
+class EstimatorLike(Protocol):
+    """Anything with an ``estimate(query) -> float`` method."""
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Cardinality estimate for a query pattern."""
+        ...
+
+
+@dataclass
+class HarnessResult:
+    """All estimates from one harness run."""
+
+    estimates: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    timings: dict[str, list[float]] = field(default_factory=dict)
+    failures: dict[str, int] = field(default_factory=dict)
+    skipped_queries: list[str] = field(default_factory=list)
+
+    def summary(self, name: str) -> QErrorSummary:
+        """Q-error summary for one estimator."""
+        return summarize(self.estimates.get(name, []))
+
+    def summaries(self) -> dict[str, QErrorSummary]:
+        """Summaries for every estimator that ran."""
+        return {name: self.summary(name) for name in self.estimates}
+
+    def mean_time_ms(self, name: str) -> float:
+        """Mean estimation latency in milliseconds."""
+        values = self.timings.get(name, [])
+        if not values:
+            return float("nan")
+        return 1000.0 * sum(values) / len(values)
+
+
+def run_harness(
+    workload: list[WorkloadQuery],
+    estimators: dict[str, Callable[[QueryPattern], float] | EstimatorLike],
+    drop_on_failure: bool = True,
+) -> HarnessResult:
+    """Estimate every workload query with every estimator.
+
+    ``estimators`` maps names to objects with ``.estimate(query)`` or to
+    plain callables.  When ``drop_on_failure`` is set, a query on which
+    any estimator fails (e.g. a SumRDF timeout) is removed from all
+    distributions, as in §6.4.
+    """
+    result = HarnessResult()
+    for name in estimators:
+        result.estimates[name] = []
+        result.timings[name] = []
+        result.failures[name] = 0
+    for query in workload:
+        row: dict[str, tuple[float, float]] = {}
+        durations: dict[str, float] = {}
+        failed = False
+        for name, estimator in estimators.items():
+            call = getattr(estimator, "estimate", estimator)
+            started = time.perf_counter()
+            try:
+                value = float(call(query.pattern))
+            except ReproError:
+                result.failures[name] += 1
+                failed = True
+                continue
+            durations[name] = time.perf_counter() - started
+            row[name] = (value, query.true_cardinality)
+        if failed and drop_on_failure:
+            result.skipped_queries.append(query.name)
+            continue
+        for name, pair in row.items():
+            result.estimates[name].append(pair)
+            result.timings[name].append(durations[name])
+    return result

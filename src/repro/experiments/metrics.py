@@ -1,0 +1,112 @@
+"""Accuracy metrics: q-error and the paper's distribution summaries.
+
+§6.2 compares estimators by the distribution of *signed log q-errors*:
+``log10(q-error)`` with a negative sign for underestimation, so
+distributions order from worst underestimate to worst overestimate.
+Box summaries report the 25th/50th/75th percentiles plus the mean of
+``log10(q-error)`` after dropping the top 10% (the paper's red dashed
+line).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["q_error", "signed_log_q", "QErrorSummary", "summarize"]
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """``max(c/e, e/c) >= 1``; infinite when exactly one side is zero."""
+    if truth <= 0 and estimate <= 0:
+        return 1.0
+    if truth <= 0 or estimate <= 0:
+        return float("inf")
+    return max(estimate / truth, truth / estimate)
+
+
+def signed_log_q(estimate: float, truth: float) -> float:
+    """``log10(q-error)``, negative for underestimation."""
+    error = q_error(estimate, truth)
+    if error == float("inf"):
+        return -math.inf if estimate < truth else math.inf
+    magnitude = math.log10(error)
+    return -magnitude if estimate < truth else magnitude
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return sorted_values[low]
+    weight = position - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+@dataclass
+class QErrorSummary:
+    """Distribution summary in the paper's box-plot vocabulary."""
+
+    count: int
+    p25: float
+    median: float
+    p75: float
+    trimmed_mean_log_q: float
+    mean_q_error: float
+    underestimated_fraction: float
+
+    def row(self) -> dict[str, float]:
+        """The summary as a report-table row."""
+        return {
+            "n": self.count,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "mean(log q, -top10%)": self.trimmed_mean_log_q,
+            "mean q": self.mean_q_error,
+            "under%": 100.0 * self.underestimated_fraction,
+        }
+
+
+def summarize(pairs: list[tuple[float, float]]) -> QErrorSummary:
+    """Summarise ``(estimate, truth)`` pairs.
+
+    Infinite q-errors (zero estimates for non-empty truths) are clamped
+    to 1e12 so summaries stay finite while remaining clearly terrible.
+    """
+    if not pairs:
+        return QErrorSummary(0, *(float("nan"),) * 5, 0.0)
+    signed = []
+    magnitudes = []
+    raw = []
+    under = 0
+    for estimate, truth in pairs:
+        value = signed_log_q(estimate, truth)
+        if math.isinf(value):
+            value = math.copysign(12.0, value)
+        signed.append(value)
+        magnitudes.append(abs(value))
+        error = q_error(estimate, truth)
+        raw.append(min(error, 1e12))
+        if estimate < truth:
+            under += 1
+    signed.sort()
+    # Trimmed mean: drop the worst 10% of |log q| (paper's convention of
+    # excluding the top decile of the error distribution).
+    magnitudes.sort()
+    keep = max(1, int(math.ceil(len(magnitudes) * 0.9)))
+    trimmed = sum(magnitudes[:keep]) / keep
+    return QErrorSummary(
+        count=len(pairs),
+        p25=_percentile(signed, 0.25),
+        median=_percentile(signed, 0.50),
+        p75=_percentile(signed, 0.75),
+        trimmed_mean_log_q=trimmed,
+        mean_q_error=sum(raw) / len(raw),
+        underestimated_fraction=under / len(pairs),
+    )

@@ -1,0 +1,67 @@
+"""ASCII rendering of experiment results (the benches' printed output)."""
+
+from __future__ import annotations
+
+from repro.experiments.metrics import QErrorSummary
+
+__all__ = ["format_table", "format_summaries", "signed_log_bar"]
+
+
+def format_table(rows: list[dict[str, object]], title: str = "") -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    columns = list(rows[0].keys())
+    rendered: list[list[str]] = []
+    for row in rows:
+        line = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                line.append(f"{value:.3g}")
+            else:
+                line.append(str(value))
+        rendered.append(line)
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    parts = []
+    if title:
+        parts.append(title)
+    header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    parts.append(header)
+    parts.append("-+-".join("-" * w for w in widths))
+    for line in rendered:
+        parts.append(" | ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(parts) + "\n"
+
+
+def format_summaries(
+    summaries: dict[str, QErrorSummary], title: str = ""
+) -> str:
+    """One row per estimator, in the Figure-9 box-plot vocabulary."""
+    rows = []
+    for name, summary in summaries.items():
+        row: dict[str, object] = {"estimator": name}
+        row.update(summary.row())
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def signed_log_bar(value: float, width: int = 31) -> str:
+    """A tiny ASCII gauge of a signed log10 q-error (| is exact)."""
+    if value != value:  # NaN
+        return " " * width
+    half = width // 2
+    clamped = max(min(value, 6.0), -6.0)
+    offset = int(round(clamped / 6.0 * half))
+    cells = [" "] * width
+    cells[half] = "|"
+    if offset > 0:
+        for i in range(1, offset + 1):
+            cells[half + i] = "#"
+    elif offset < 0:
+        for i in range(1, -offset + 1):
+            cells[half - i] = "#"
+    return "".join(cells)

@@ -1,0 +1,26 @@
+"""Labeled-digraph storage, generators, and IO."""
+
+from repro.graph.digraph import LabeledDiGraph, LabelRelation
+from repro.graph.generators import generate_graph, zipf_weights
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.vertex_labels import (
+    add_vertex_labels,
+    vertex_label_relation,
+    vertex_labels_of_pattern,
+    with_vertex_label,
+)
+
+__all__ = [
+    "LabeledDiGraph",
+    "LabelRelation",
+    "generate_graph",
+    "zipf_weights",
+    "load_edge_list",
+    "load_npz",
+    "save_edge_list",
+    "save_npz",
+    "add_vertex_labels",
+    "with_vertex_label",
+    "vertex_label_relation",
+    "vertex_labels_of_pattern",
+]

@@ -1,0 +1,68 @@
+"""Load/save labeled graphs as tab-separated edge lists or ``.npz``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.digraph import LabeledDiGraph
+
+__all__ = ["save_edge_list", "load_edge_list", "save_npz", "load_npz"]
+
+
+def save_edge_list(graph: LabeledDiGraph, path: str | Path) -> None:
+    """Write ``src<TAB>dst<TAB>label`` lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# vertices={graph.num_vertices}\n")
+        for src, dst, label in graph.triples():
+            handle.write(f"{src}\t{dst}\t{label}\n")
+
+
+def load_edge_list(path: str | Path) -> LabeledDiGraph:
+    """Read the format written by :func:`save_edge_list`."""
+    path = Path(path)
+    num_vertices: int | None = None
+    triples: list[tuple[int, int, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "vertices=" in line:
+                    num_vertices = int(line.split("vertices=", 1)[1])
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise DatasetError(f"{path}:{line_number}: expected 3 columns")
+            triples.append((int(parts[0]), int(parts[1]), parts[2]))
+    if not triples:
+        raise DatasetError(f"{path}: no edges")
+    return LabeledDiGraph.from_triples(triples, num_vertices=num_vertices)
+
+
+def save_npz(graph: LabeledDiGraph, path: str | Path) -> None:
+    """Save in compressed numpy format (one src/dst pair per label)."""
+    payload: dict[str, np.ndarray] = {
+        "__num_vertices__": np.asarray([graph.num_vertices], dtype=np.int64)
+    }
+    for label in graph.labels:
+        relation = graph.relation(label)
+        payload[f"src::{label}"] = relation.src_by_src
+        payload[f"dst::{label}"] = relation.dst_by_src
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_npz(path: str | Path) -> LabeledDiGraph:
+    """Load the format written by :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        num_vertices = int(data["__num_vertices__"][0])
+        by_label: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for key in data.files:
+            if key.startswith("src::"):
+                label = key[len("src::"):]
+                by_label[label] = (data[key], data[f"dst::{label}"])
+    return LabeledDiGraph(num_vertices, by_label)

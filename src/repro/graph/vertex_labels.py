@@ -1,0 +1,89 @@
+"""Vertex-label support via unary-relation self-loops.
+
+§6.1: "Estimating queries with vertex labels can be done in a
+straightforward manner both for optimistic and pessimistic estimators,
+e.g., by extending Markov table entries to have vertex labels as was
+done in reference [20]."
+
+This module realises that extension without touching any estimator: a
+vertex label ``L`` on vertex ``v`` is stored as the self-loop
+``(v, v, "@L")`` — a unary relation in binary-relation clothing.  Every
+component of the library (exact counting, Markov tables, CEG_O, MOLP
+degree statistics) already handles self-loop atoms, so a vertex-labeled
+query is just a pattern with extra ``@``-atoms and the Markov table
+transparently stores vertex-labeled join entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.pattern import QueryEdge, QueryPattern
+
+__all__ = [
+    "VERTEX_LABEL_PREFIX",
+    "vertex_label_relation",
+    "add_vertex_labels",
+    "with_vertex_label",
+    "vertex_labels_of_pattern",
+]
+
+VERTEX_LABEL_PREFIX = "@"
+
+
+def vertex_label_relation(label: str) -> str:
+    """The edge-label name encoding a vertex label."""
+    return f"{VERTEX_LABEL_PREFIX}{label}"
+
+
+def add_vertex_labels(
+    graph: LabeledDiGraph,
+    assignment: Mapping[int, str | Iterable[str]],
+) -> LabeledDiGraph:
+    """A copy of ``graph`` with vertex labels attached.
+
+    ``assignment`` maps vertex ids to one label or an iterable of
+    labels.  Returns a new graph whose extra ``@label`` relations hold
+    one self-loop per labeled vertex.
+    """
+    by_label: dict[str, list[int]] = {}
+    for vertex, labels in assignment.items():
+        if isinstance(labels, str):
+            labels = [labels]
+        for label in labels:
+            by_label.setdefault(vertex_label_relation(label), []).append(
+                int(vertex)
+            )
+    arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label in graph.labels:
+        relation = graph.relation(label)
+        arrays[label] = (relation.src_by_src, relation.dst_by_src)
+    for name, vertices in by_label.items():
+        loops = np.asarray(sorted(set(vertices)), dtype=np.int64)
+        arrays[name] = (loops, loops)
+    return LabeledDiGraph(graph.num_vertices, arrays)
+
+
+def with_vertex_label(
+    pattern: QueryPattern, var: str, label: str
+) -> QueryPattern:
+    """The pattern extended with a vertex-label predicate on ``var``."""
+    return QueryPattern(
+        list(pattern.edges)
+        + [QueryEdge(var, var, vertex_label_relation(label))]
+    )
+
+
+def vertex_labels_of_pattern(pattern: QueryPattern) -> dict[str, list[str]]:
+    """Vertex-label predicates present in a pattern, keyed by variable."""
+    result: dict[str, list[str]] = {}
+    for edge in pattern.edges:
+        is_loop = edge.src == edge.dst
+        if is_loop and edge.label.startswith(VERTEX_LABEL_PREFIX):
+            result.setdefault(edge.src, []).append(
+                edge.label[len(VERTEX_LABEL_PREFIX):]
+            )
+    return result

@@ -1,0 +1,21 @@
+"""Join-order planning with injected cardinality estimates (Figure 15)."""
+
+from repro.planner.bushy import (
+    BushyPlan,
+    execute_bushy,
+    optimize_bushy,
+    tree_atoms,
+)
+from repro.planner.dp_optimizer import Plan, optimize_left_deep
+from repro.planner.executor import ExecutionResult, execute_plan
+
+__all__ = [
+    "Plan",
+    "optimize_left_deep",
+    "ExecutionResult",
+    "execute_plan",
+    "BushyPlan",
+    "optimize_bushy",
+    "execute_bushy",
+    "tree_atoms",
+]

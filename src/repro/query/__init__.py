@@ -1,0 +1,17 @@
+"""Query patterns, shape analysis, templates and parsing."""
+
+from repro.query.pattern import QueryEdge, QueryPattern
+from repro.query.parser import format_pattern, parse_pattern
+from repro.query.canonical import canonical_key, canonical_pattern
+from repro.query import shape, templates
+
+__all__ = [
+    "QueryEdge",
+    "QueryPattern",
+    "parse_pattern",
+    "format_pattern",
+    "canonical_key",
+    "canonical_pattern",
+    "shape",
+    "templates",
+]

@@ -1,0 +1,68 @@
+"""A tiny textual syntax for query patterns.
+
+The syntax mirrors the paper's arrow notation::
+
+    a1 -[A]-> a2 -[B]-> a3, a2 <-[C]- a4
+
+Comma (or semicolon/newline) separates chains; within a chain each hop is
+``<var> -[<label>]-> <var>`` or ``<var> <-[<label>]- <var>`` (the latter
+reverses the edge).  :func:`format_pattern` is the inverse.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PatternError
+from repro.query.pattern import QueryEdge, QueryPattern
+
+__all__ = ["parse_pattern", "format_pattern"]
+
+_HOP = re.compile(
+    r"\s*(?P<arrow><-\[(?P<rlabel>[^\]]+)\]-|-\[(?P<flabel>[^\]]+)\]->)\s*"
+    r"(?P<var>[A-Za-z_][A-Za-z0-9_]*)"
+)
+_VAR = re.compile(r"\s*(?P<var>[A-Za-z_][A-Za-z0-9_]*)")
+
+
+def parse_pattern(text: str) -> QueryPattern:
+    """Parse the arrow syntax into a :class:`QueryPattern`."""
+    edges: list[QueryEdge] = []
+    chains = [chunk for chunk in re.split(r"[,;\n]", text) if chunk.strip()]
+    if not chains:
+        raise PatternError(f"empty pattern text: {text!r}")
+    for chain in chains:
+        position = 0
+        head = _VAR.match(chain, position)
+        if head is None:
+            raise PatternError(f"expected a variable at start of {chain!r}")
+        current = head.group("var")
+        position = head.end()
+        hops = 0
+        while position < len(chain):
+            hop = _HOP.match(chain, position)
+            if hop is None:
+                remainder = chain[position:].strip()
+                if remainder:
+                    raise PatternError(
+                        f"could not parse {remainder!r} in chain {chain!r}"
+                    )
+                break
+            nxt = hop.group("var")
+            if hop.group("flabel") is not None:
+                edges.append(QueryEdge(current, nxt, hop.group("flabel")))
+            else:
+                edges.append(QueryEdge(nxt, current, hop.group("rlabel")))
+            current = nxt
+            position = hop.end()
+            hops += 1
+        if hops == 0:
+            raise PatternError(f"chain {chain!r} has no edges")
+    return QueryPattern(edges)
+
+
+def format_pattern(pattern: QueryPattern) -> str:
+    """Render a pattern in the arrow syntax (one chain per edge)."""
+    return ", ".join(
+        f"{e.src} -[{e.label}]-> {e.dst}" for e in pattern.edges
+    )

@@ -1,0 +1,224 @@
+"""Structural analysis of query patterns.
+
+The paper's estimator choice depends on query *shape*: acyclic vs cyclic,
+and for cyclic queries on the length of the cycles (triangles vs larger).
+This module provides the shape predicates used throughout the library:
+
+* :func:`is_acyclic` / :func:`cycles` — cycle detection on the underlying
+  undirected multigraph of the pattern (edge directions are irrelevant for
+  join-graph cyclicity of binary relations);
+* :func:`largest_cycle_length` and :func:`has_only_triangles` — the
+  classification used to pick between Figures 9/10/11 regimes;
+* :func:`depth` — the template "depth" used by the Acyclic workload of
+  §6.1 (eccentricity of the pattern's center, i.e. stars have depth 2 and
+  paths of k edges have depth k, matching Figure 8's convention);
+* :func:`spanning_tree_and_closures` — splits a cyclic pattern's edges
+  into a spanning tree plus cycle-closing edges (used by WanderJoin and
+  the backtracking counter).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.query.pattern import QueryPattern
+
+__all__ = [
+    "to_multigraph",
+    "is_acyclic",
+    "cycles",
+    "largest_cycle_length",
+    "has_only_triangles",
+    "is_cyclic_with_large_cycles",
+    "depth",
+    "spanning_tree_and_closures",
+    "cycle_completions",
+]
+
+
+def to_multigraph(pattern: QueryPattern) -> nx.MultiGraph:
+    """The undirected multigraph underlying a pattern.
+
+    Nodes are query variables; each atom becomes one edge keyed by its
+    index in ``pattern.edges``.
+    """
+    graph = nx.MultiGraph()
+    graph.add_nodes_from(pattern.variables)
+    for index, edge in enumerate(pattern.edges):
+        graph.add_edge(edge.src, edge.dst, key=index, label=edge.label)
+    return graph
+
+
+def is_acyclic(pattern: QueryPattern) -> bool:
+    """True if the pattern's join graph is a forest.
+
+    For binary relations this coincides with query acyclicity: a connected
+    pattern is acyclic iff it has exactly ``|vars| - 1`` edges and no
+    self-loops or parallel atoms between the same variable pair.
+    """
+    graph = to_multigraph(pattern)
+    try:
+        nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return True
+    return False
+
+
+def cycles(pattern: QueryPattern) -> list[frozenset[int]]:
+    """Edge-index sets of the simple cycles of the pattern.
+
+    Uses the cycle basis of the multigraph plus explicit handling of
+    self-loops (length-1) and parallel-edge cycles (length-2), then
+    expands to all simple cycles via networkx for small patterns.
+    """
+    graph = to_multigraph(pattern)
+    result: set[frozenset[int]] = set()
+    # Self-loops.
+    for index, edge in enumerate(pattern.edges):
+        if edge.src == edge.dst:
+            result.add(frozenset([index]))
+    # Parallel atoms between the same unordered variable pair.
+    by_pair: dict[frozenset[str], list[int]] = {}
+    for index, edge in enumerate(pattern.edges):
+        if edge.src != edge.dst:
+            by_pair.setdefault(frozenset((edge.src, edge.dst)), []).append(index)
+    for indexes in by_pair.values():
+        if len(indexes) >= 2:
+            for i in range(len(indexes)):
+                for j in range(i + 1, len(indexes)):
+                    result.add(frozenset([indexes[i], indexes[j]]))
+    # Simple cycles of length >= 3 on the simple graph, mapped back to
+    # every combination of parallel atoms along the cycle.
+    simple = nx.Graph()
+    simple.add_nodes_from(pattern.variables)
+    for pair in by_pair:
+        u, v = tuple(pair)
+        simple.add_edge(u, v)
+    for cycle_nodes in nx.simple_cycles(simple):
+        if len(cycle_nodes) < 3:
+            continue
+        choices: list[list[int]] = []
+        ok = True
+        for position, node in enumerate(cycle_nodes):
+            nxt = cycle_nodes[(position + 1) % len(cycle_nodes)]
+            indexes = by_pair.get(frozenset((node, nxt)))
+            if not indexes:
+                ok = False
+                break
+            choices.append(indexes)
+        if not ok:
+            continue
+        result.update(_combinations(choices))
+    return sorted(result, key=lambda s: (len(s), sorted(s)))
+
+
+def _combinations(choices: list[list[int]]) -> Iterable[frozenset[int]]:
+    if not choices:
+        return
+    stack: list[tuple[int, list[int]]] = [(0, [])]
+    while stack:
+        position, chosen = stack.pop()
+        if position == len(choices):
+            yield frozenset(chosen)
+            continue
+        for index in choices[position]:
+            stack.append((position + 1, chosen + [index]))
+
+
+def largest_cycle_length(pattern: QueryPattern) -> int:
+    """Length (number of atoms) of the longest simple cycle; 0 if acyclic."""
+    found = cycles(pattern)
+    if not found:
+        return 0
+    return max(len(c) for c in found)
+
+
+def has_only_triangles(pattern: QueryPattern) -> bool:
+    """True if the pattern is cyclic and every cycle has at most 3 atoms."""
+    found = cycles(pattern)
+    return bool(found) and all(len(c) <= 3 for c in found)
+
+
+def is_cyclic_with_large_cycles(pattern: QueryPattern, h: int = 3) -> bool:
+    """True if some cycle is longer than ``h`` (the Markov-table size)."""
+    return largest_cycle_length(pattern) > h
+
+
+def depth(pattern: QueryPattern) -> int:
+    """Template depth as used by the Acyclic workload (Figure 8).
+
+    Defined as the diameter of the underlying graph in edges; a k-star has
+    depth 2 and a k-path has depth k, matching §6.1's description that
+    "the minimum depth of any query is 2 (stars) and the maximum is k
+    (paths)".  Patterns with a single atom have depth 1.
+    """
+    graph = nx.Graph(to_multigraph(pattern))
+    if graph.number_of_nodes() <= 1:
+        return 0
+    if len(pattern) == 1:
+        return 1
+    return max(
+        nx.eccentricity(graph, v) for v in graph.nodes
+    )
+
+
+def spanning_tree_and_closures(pattern: QueryPattern) -> tuple[list[int], list[int]]:
+    """Split edges into (spanning-forest edges, cycle-closing edges).
+
+    The forest is grown in BFS order from the first variable, so the tree
+    edge list is a valid "walk order": each tree edge after the first has
+    at least one endpoint already visited.
+    """
+    visited: set[str] = set()
+    tree: list[int] = []
+    closures: list[int] = []
+    used: set[int] = set()
+    order = list(pattern.variables)
+    for start in order:
+        if start in visited:
+            continue
+        visited.add(start)
+        frontier = [start]
+        while frontier:
+            var = frontier.pop(0)
+            for index in pattern.edges_at(var):
+                if index in used:
+                    continue
+                other = pattern.edges[index].other_end(var)
+                if other in visited:
+                    # Both endpoints known: this edge closes a cycle,
+                    # unless it is the discovery edge (handled below).
+                    used.add(index)
+                    closures.append(index)
+                else:
+                    used.add(index)
+                    tree.append(index)
+                    visited.add(other)
+                    frontier.append(other)
+    return tree, closures
+
+
+def cycle_completions(
+    pattern: QueryPattern, subset: frozenset[int], h: int
+) -> dict[int, frozenset[int]]:
+    """Map each edge index that would complete a large cycle to that cycle.
+
+    Given a CEG vertex ``subset`` (edge indexes already covered), returns
+    ``{edge_index: cycle}`` for every edge outside the subset that is the
+    single missing atom of some cycle longer than ``h``.  This is the
+    condition under which ``CEG_OCR`` swaps in a cycle-closing-rate weight
+    (§4.3: the sub-query contains ``k-1`` edges of a ``k``-cycle).
+    """
+    result: dict[int, frozenset[int]] = {}
+    for cycle in cycles(pattern):
+        if len(cycle) <= h:
+            continue
+        missing = cycle - subset
+        if len(missing) == 1:
+            (index,) = tuple(missing)
+            previous = result.get(index)
+            if previous is None or len(cycle) < len(previous):
+                result[index] = cycle
+    return result

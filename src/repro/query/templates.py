@@ -1,0 +1,312 @@
+"""Query-template library.
+
+These are the unlabeled shapes used by the paper's workloads (§6.1 and
+Figure 8): paths, stars, trees of every depth, the JOB join templates,
+and the cyclic shapes from reference [20] and the G-CARE benchmark
+(cycles, cliques, bowties, flowers, petals).  Templates carry placeholder
+labels ``?0, ?1, ...``; workload generators instantiate them with real
+labels via :meth:`QueryPattern.with_labels`.
+
+Edge directions are fixed per template (the paper omits directions in
+Figure 8); workload generators may re-randomize directions with
+:func:`randomize_directions`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import PatternError
+from repro.query.pattern import QueryEdge, QueryPattern
+
+__all__ = [
+    "path",
+    "star",
+    "fork",
+    "triangle",
+    "cycle",
+    "clique",
+    "diamond_with_chord",
+    "bowtie",
+    "square_with_triangle",
+    "square_with_two_triangles",
+    "petal",
+    "flower",
+    "tree_of_depth",
+    "random_tree",
+    "randomize_directions",
+    "job_templates",
+    "acyclic_templates",
+    "cyclic_templates",
+    "gcare_acyclic_templates",
+    "gcare_cyclic_templates",
+]
+
+
+def _labels(k: int) -> list[str]:
+    return [f"?{i}" for i in range(k)]
+
+
+def path(k: int) -> QueryPattern:
+    """A directed path of ``k`` edges: v0 -> v1 -> ... -> vk."""
+    if k < 1:
+        raise PatternError("path length must be >= 1")
+    return QueryPattern(
+        QueryEdge(f"v{i}", f"v{i + 1}", f"?{i}") for i in range(k)
+    )
+
+
+def star(k: int) -> QueryPattern:
+    """A ``k``-star: all edges leave the center v0."""
+    if k < 1:
+        raise PatternError("star size must be >= 1")
+    return QueryPattern(
+        QueryEdge("v0", f"v{i + 1}", f"?{i}") for i in range(k)
+    )
+
+
+def fork(path_len: int, branches: int) -> QueryPattern:
+    """A path of ``path_len`` edges ending in a ``branches``-star.
+
+    ``fork(2, 3)`` is the paper's running-example query ``Q5f``
+    (Figure 1): a1 -> a2 -> a3 with three edges leaving a3.
+    """
+    edges = [QueryEdge(f"v{i}", f"v{i + 1}", f"?{i}") for i in range(path_len)]
+    hub = f"v{path_len}"
+    for b in range(branches):
+        edges.append(QueryEdge(hub, f"w{b}", f"?{path_len + b}"))
+    return QueryPattern(edges)
+
+
+def triangle() -> QueryPattern:
+    """A directed 3-cycle."""
+    return cycle(3)
+
+
+def cycle(k: int) -> QueryPattern:
+    """A directed ``k``-cycle v0 -> v1 -> ... -> v0."""
+    if k < 1:
+        raise PatternError("cycle length must be >= 1")
+    return QueryPattern(
+        QueryEdge(f"v{i}", f"v{(i + 1) % k}", f"?{i}") for i in range(k)
+    )
+
+
+def clique(n: int) -> QueryPattern:
+    """K_n with edges oriented from lower to higher vertex index."""
+    if n < 3:
+        raise PatternError("clique needs at least 3 vertices")
+    edges = []
+    counter = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            edges.append(QueryEdge(f"v{i}", f"v{j}", f"?{counter}"))
+            counter += 1
+    return QueryPattern(edges)
+
+
+def diamond_with_chord() -> QueryPattern:
+    """A 4-cycle with one crossing edge (5 atoms) — §6.1's diamond."""
+    edges = [
+        QueryEdge("v0", "v1", "?0"),
+        QueryEdge("v1", "v2", "?1"),
+        QueryEdge("v2", "v3", "?2"),
+        QueryEdge("v3", "v0", "?3"),
+        QueryEdge("v0", "v2", "?4"),
+    ]
+    return QueryPattern(edges)
+
+
+def bowtie() -> QueryPattern:
+    """Two triangles sharing one vertex (6 atoms)."""
+    edges = [
+        QueryEdge("c", "a1", "?0"),
+        QueryEdge("a1", "a2", "?1"),
+        QueryEdge("a2", "c", "?2"),
+        QueryEdge("c", "b1", "?3"),
+        QueryEdge("b1", "b2", "?4"),
+        QueryEdge("b2", "c", "?5"),
+    ]
+    return QueryPattern(edges)
+
+
+def square_with_triangle() -> QueryPattern:
+    """A 4-cycle with a triangle hung on one side (7 atoms)."""
+    edges = [
+        QueryEdge("v0", "v1", "?0"),
+        QueryEdge("v1", "v2", "?1"),
+        QueryEdge("v2", "v3", "?2"),
+        QueryEdge("v3", "v0", "?3"),
+        QueryEdge("v0", "t", "?4"),
+        QueryEdge("t", "v1", "?5"),
+        QueryEdge("v1", "v0", "?6"),
+    ]
+    return QueryPattern(edges)
+
+
+def square_with_two_triangles() -> QueryPattern:
+    """A 4-cycle with triangles on two adjacent sides (8 atoms)."""
+    edges = [
+        QueryEdge("v0", "v1", "?0"),
+        QueryEdge("v1", "v2", "?1"),
+        QueryEdge("v2", "v3", "?2"),
+        QueryEdge("v3", "v0", "?3"),
+        QueryEdge("v0", "s", "?4"),
+        QueryEdge("s", "v1", "?5"),
+        QueryEdge("v1", "t", "?6"),
+        QueryEdge("t", "v2", "?7"),
+    ]
+    return QueryPattern(edges)
+
+
+def petal(paths: int, path_len: int) -> QueryPattern:
+    """Two endpoints joined by ``paths`` vertex-disjoint directed paths.
+
+    ``petal(2, 3)`` is the 6-edge petal of the G-CARE cyclic workload.
+    """
+    if paths < 2 or path_len < 1:
+        raise PatternError("petal needs >= 2 paths of length >= 1")
+    edges: list[QueryEdge] = []
+    counter = 0
+    for p in range(paths):
+        previous = "src"
+        for step in range(path_len):
+            nxt = "dst" if step == path_len - 1 else f"p{p}_{step}"
+            edges.append(QueryEdge(previous, nxt, f"?{counter}"))
+            counter += 1
+            previous = nxt
+    return QueryPattern(edges)
+
+
+def flower(stamens: int, petal_len: int = 3) -> QueryPattern:
+    """A center vertex with ``stamens`` leaf edges plus one cycle (petal).
+
+    ``flower(3)`` has 6 atoms (3 leaves + a triangle through the center),
+    the G-CARE 6-edge flower; ``flower(3, 6)`` has 9 atoms.
+    """
+    edges: list[QueryEdge] = []
+    counter = 0
+    for s in range(stamens):
+        edges.append(QueryEdge("c", f"leaf{s}", f"?{counter}"))
+        counter += 1
+    previous = "c"
+    for step in range(petal_len):
+        nxt = "c" if step == petal_len - 1 else f"q{step}"
+        edges.append(QueryEdge(previous, nxt, f"?{counter}"))
+        counter += 1
+        previous = nxt
+    return QueryPattern(edges)
+
+
+def tree_of_depth(k: int, d: int) -> QueryPattern:
+    """A tree with ``k`` edges and diameter exactly ``d`` (2 ≤ d ≤ k).
+
+    Built as a ``d``-path with the remaining ``k - d`` edges attached as
+    leaves near one end (which keeps the diameter at ``d``).  This is the
+    family used by the Acyclic workload of §6.1 / Figure 8.
+    """
+    if d < 2 or d > k:
+        raise PatternError("need 2 <= depth <= k")
+    edges = [QueryEdge(f"v{i}", f"v{i + 1}", f"?{i}") for i in range(d)]
+    extra = k - d
+    # Attach extra leaves round-robin to interior path vertices v1..v(d-1)
+    # so eccentricities never exceed d.
+    anchors = [f"v{i}" for i in range(1, d)]
+    for e in range(extra):
+        anchor = anchors[e % len(anchors)]
+        edges.append(QueryEdge(anchor, f"x{e}", f"?{d + e}"))
+    return QueryPattern(edges)
+
+
+def random_tree(k: int, rng: random.Random) -> QueryPattern:
+    """A uniformly grown random tree with ``k`` edges."""
+    if k < 1:
+        raise PatternError("tree needs >= 1 edge")
+    edges: list[QueryEdge] = []
+    for i in range(k):
+        parent = 0 if i == 0 else rng.randrange(i + 1)
+        if rng.random() < 0.5:
+            edges.append(QueryEdge(f"v{parent}", f"v{i + 1}", f"?{i}"))
+        else:
+            edges.append(QueryEdge(f"v{i + 1}", f"v{parent}", f"?{i}"))
+    return QueryPattern(edges)
+
+
+def randomize_directions(pattern: QueryPattern, rng: random.Random) -> QueryPattern:
+    """Flip each edge's direction with probability 1/2."""
+    flipped = []
+    for edge in pattern.edges:
+        if rng.random() < 0.5:
+            flipped.append(QueryEdge(edge.dst, edge.src, edge.label))
+        else:
+            flipped.append(edge)
+    return QueryPattern(flipped)
+
+
+# ----------------------------------------------------------------------
+# Workload template inventories (§6.1)
+# ----------------------------------------------------------------------
+
+def job_templates() -> dict[str, QueryPattern]:
+    """The 7 JOB-derived acyclic join templates.
+
+    Four 4-edge, two 5-edge and one 6-edge template, mirroring the
+    paper's conversion of the JOB workload (all acyclic).
+    """
+    return {
+        "job_4path": path(4),
+        "job_4star": star(4),
+        "job_4fork": fork(2, 2),
+        "job_4tree": tree_of_depth(4, 3),
+        "job_5fork": fork(2, 3),
+        "job_5tree": tree_of_depth(5, 3),
+        "job_6tree": tree_of_depth(6, 4),
+    }
+
+
+def acyclic_templates(sizes: tuple[int, ...] = (6, 7, 8)) -> dict[str, QueryPattern]:
+    """Figure 8's Acyclic workload: every depth from 2 (star) to k (path)."""
+    result: dict[str, QueryPattern] = {}
+    for k in sizes:
+        for d in range(2, k + 1):
+            result[f"acyclic_{k}e_d{d}"] = tree_of_depth(k, d)
+    return result
+
+
+def cyclic_templates() -> dict[str, QueryPattern]:
+    """The Cyclic workload templates from reference [20] (§6.1)."""
+    return {
+        "cyc_4cycle": cycle(4),
+        "cyc_diamond": diamond_with_chord(),
+        "cyc_6cycle": cycle(6),
+        "cyc_k4": clique(4),
+        "cyc_bowtie": bowtie(),
+        "cyc_sq2tri": square_with_two_triangles(),
+        "cyc_sqtri": square_with_triangle(),
+    }
+
+
+def gcare_acyclic_templates(
+    rng: random.Random | None = None,
+    sizes: tuple[int, ...] = (3, 6, 9, 12),
+) -> dict[str, QueryPattern]:
+    """G-CARE-Acyclic: stars, paths and random trees of several sizes."""
+    rng = rng or random.Random(0)
+    result: dict[str, QueryPattern] = {}
+    for k in sizes:
+        result[f"gcare_{k}path"] = path(k)
+        result[f"gcare_{k}star"] = star(k)
+        result[f"gcare_{k}tree"] = random_tree(k, rng)
+    return result
+
+
+def gcare_cyclic_templates() -> dict[str, QueryPattern]:
+    """G-CARE-Cyclic: 6-/9-cycles, 6-clique, flower and petals."""
+    return {
+        "gcare_6cycle": cycle(6),
+        "gcare_9cycle": cycle(9),
+        "gcare_6clique": clique(4),
+        "gcare_6flower": flower(3, 3),
+        "gcare_6petal": petal(2, 3),
+        "gcare_9petal": petal(3, 3),
+    }

@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic graphs and the running example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import LabeledDiGraph, generate_graph
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> LabeledDiGraph:
+    """A hand-built 8-vertex graph with labels A, B, C used across tests.
+
+    Layout (all edges directed left to right unless stated):
+
+        0 -A-> 2, 1 -A-> 2, 0 -A-> 3
+        2 -B-> 4, 2 -B-> 5, 3 -B-> 4
+        4 -C-> 6, 5 -C-> 6, 4 -C-> 7, 6 -C-> 0   (C also closes a cycle)
+    """
+    triples = [
+        (0, 2, "A"), (1, 2, "A"), (0, 3, "A"),
+        (2, 4, "B"), (2, 5, "B"), (3, 4, "B"),
+        (4, 6, "C"), (5, 6, "C"), (4, 7, "C"), (6, 0, "C"),
+    ]
+    return LabeledDiGraph.from_triples(triples, num_vertices=8)
+
+
+@pytest.fixture(scope="session")
+def small_random_graph() -> LabeledDiGraph:
+    """A 60-vertex random graph, big enough for estimator smoke tests."""
+    return generate_graph(
+        num_vertices=60,
+        num_edges=400,
+        num_labels=5,
+        seed=7,
+        closure=0.3,
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_random_graph() -> LabeledDiGraph:
+    """A 500-vertex random graph for integration tests."""
+    return generate_graph(
+        num_vertices=500,
+        num_edges=3000,
+        num_labels=12,
+        seed=11,
+        closure=0.25,
+    )

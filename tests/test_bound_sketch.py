@@ -1,0 +1,140 @@
+"""Tests for hash partitioning and the bound-sketch optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import BoundSketchPartitioner, buckets_per_attribute, hash_bucket
+from repro.core import (
+    join_attributes,
+    molp_sketch_bound,
+    optimistic_sketch_estimate,
+    sketch_attributes,
+)
+from repro.core.ceg_m import molp_min_path
+from repro.catalog.degrees import DegreeCatalog
+from repro.engine import count_pattern
+from repro.graph import generate_graph
+from repro.query import QueryPattern, templates
+
+
+class TestHashBucket:
+    def test_deterministic(self):
+        values = np.arange(100)
+        a = hash_bucket(values, 4)
+        b = hash_bucket(values, 4)
+        assert (a == b).all()
+
+    def test_range(self):
+        values = np.arange(1000)
+        buckets = hash_bucket(values, 7)
+        assert buckets.min() >= 0 and buckets.max() < 7
+
+    def test_spread(self):
+        values = np.arange(1000)
+        counts = np.bincount(hash_bucket(values, 4), minlength=4)
+        assert counts.min() > 100  # roughly uniform
+
+    def test_buckets_per_attribute(self):
+        assert buckets_per_attribute(16, 2) == 4
+        assert buckets_per_attribute(4, 1) == 4
+        assert buckets_per_attribute(1, 3) == 1
+        assert buckets_per_attribute(8, 0) == 1
+
+
+class TestPartitioner:
+    def test_partitions_cover_relation(self, medium_random_graph):
+        """Union of partition edge sets equals the original relation."""
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.path(2).with_labels(labels[:2])
+        partitioner = BoundSketchPartitioner(graph, budget=4)
+        attrs = frozenset({query.variables[1]})
+        total = {f"{label}#{i}": 0 for i, label in enumerate(query.labels)}
+        for subgraph, subquery in partitioner.subqueries(query, attrs):
+            for name in total:
+                total[name] += subgraph.cardinality(name)
+        assert total[f"{labels[0]}#0"] == graph.cardinality(labels[0])
+        assert total[f"{labels[1]}#1"] == graph.cardinality(labels[1])
+
+    def test_counts_partition_exactly(self, medium_random_graph):
+        """Per-partition true counts sum to the original true count."""
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.path(2).with_labels(labels[:2])
+        truth = count_pattern(graph, query)
+        partitioner = BoundSketchPartitioner(graph, budget=4)
+        attrs = frozenset({query.variables[1]})  # the join attribute
+        parts = 0.0
+        for subgraph, subquery in partitioner.subqueries(graph and query, attrs):
+            parts += count_pattern(subgraph, subquery)
+        assert parts == pytest.approx(truth)
+
+    def test_budget_one_returns_single(self, medium_random_graph):
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.path(2).with_labels(labels[:2])
+        partitioner = BoundSketchPartitioner(graph, budget=1)
+        subproblems = partitioner.subqueries(query, frozenset({"v1"}))
+        assert len(subproblems) == 1
+
+    def test_invalid_budget(self, medium_random_graph):
+        with pytest.raises(ValueError):
+            BoundSketchPartitioner(medium_random_graph, budget=0)
+
+
+class TestSketchAttributes:
+    def test_join_attributes(self):
+        query = templates.fork(2, 3)
+        assert join_attributes(query) == frozenset({"v1", "v2"})
+
+    def test_sketch_attrs_exclude_bound_extensions(self, medium_random_graph):
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.path(3).with_labels(labels[:3])
+        catalog = DegreeCatalog(graph, h=1)
+        _, path = molp_min_path(query, catalog)
+        attrs = sketch_attributes(query, path)
+        assert attrs <= join_attributes(query)
+
+
+class TestSketchBounds:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_molp_sketch_still_upper_bound(self, seed):
+        graph = generate_graph(40, 150, 3, seed=seed, closure=0.3)
+        labels = list(graph.labels)
+        query = templates.path(3).with_labels(
+            [labels[i % len(labels)] for i in range(3)]
+        )
+        truth = count_pattern(graph, query)
+        for budget in (1, 4, 16):
+            bound = molp_sketch_bound(graph, query, budget, h=1)
+            assert bound >= truth - 1e-6, (budget, bound, truth)
+
+    def test_molp_sketch_never_worse(self, medium_random_graph):
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.fork(1, 2).with_labels(labels[:3])
+        direct = molp_sketch_bound(graph, query, budget=1, h=1)
+        sketched = molp_sketch_bound(graph, query, budget=16, h=1)
+        assert sketched <= direct + 1e-9
+
+    def test_optimistic_sketch_runs(self, medium_random_graph):
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.path(3).with_labels(labels[:3])
+        plain = optimistic_sketch_estimate(graph, query, budget=1, h=2)
+        sketched = optimistic_sketch_estimate(graph, query, budget=4, h=2)
+        assert plain >= 0 and sketched >= 0
+
+    def test_optimistic_sketch_exact_when_h_covers(self, medium_random_graph):
+        """With h >= |Q| each partition estimate is exact, so the sum is
+        exactly the true cardinality — partitioning is lossless."""
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.path(2).with_labels(labels[:2])
+        truth = count_pattern(graph, query)
+        total = optimistic_sketch_estimate(graph, query, budget=4, h=2)
+        assert total == pytest.approx(truth)

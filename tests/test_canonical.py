@@ -1,0 +1,79 @@
+"""Tests for canonical pattern keys (renaming invariance)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import QueryPattern, canonical_key, canonical_pattern, templates
+
+
+class TestCanonicalKey:
+    def test_renaming_invariance(self):
+        p1 = QueryPattern([("a", "b", "A"), ("b", "c", "B")])
+        p2 = QueryPattern([("x", "y", "A"), ("y", "z", "B")])
+        assert canonical_key(p1) == canonical_key(p2)
+
+    def test_direction_matters(self):
+        forward = QueryPattern([("a", "b", "A"), ("b", "c", "B")])
+        backward = QueryPattern([("a", "b", "A"), ("c", "b", "B")])
+        assert canonical_key(forward) != canonical_key(backward)
+
+    def test_label_matters(self):
+        p1 = QueryPattern([("a", "b", "A")])
+        p2 = QueryPattern([("a", "b", "B")])
+        assert canonical_key(p1) != canonical_key(p2)
+
+    def test_edge_order_invariance(self):
+        p1 = QueryPattern([("a", "b", "A"), ("b", "c", "B")])
+        p2 = QueryPattern([("b", "c", "B"), ("a", "b", "A")])
+        assert canonical_key(p1) == canonical_key(p2)
+
+    def test_star_vs_path(self):
+        assert canonical_key(templates.star(3)) != canonical_key(templates.path(3))
+
+    def test_canonical_pattern_roundtrip(self):
+        pattern = templates.fork(2, 3)
+        rebuilt = canonical_pattern(pattern)
+        assert canonical_key(rebuilt) == canonical_key(pattern)
+        assert len(rebuilt) == len(pattern)
+
+
+@st.composite
+def small_patterns(draw):
+    """Random connected patterns with <= 4 edges and <= 3 labels."""
+    num_edges = draw(st.integers(min_value=1, max_value=4))
+    labels = ["A", "B", "C"]
+    edges = []
+    variables = ["v0", "v1"]
+    edges.append((
+        "v0", "v1", draw(st.sampled_from(labels)),
+    ))
+    for i in range(1, num_edges):
+        anchor = draw(st.sampled_from(variables))
+        if draw(st.booleans()):
+            new = f"v{len(variables)}"
+            variables.append(new)
+            other = new
+        else:
+            other = draw(st.sampled_from(variables))
+        label = draw(st.sampled_from(labels))
+        if draw(st.booleans()):
+            candidate = (anchor, other, label)
+        else:
+            candidate = (other, anchor, label)
+        if candidate in edges:
+            continue
+        edges.append(candidate)
+    return QueryPattern(edges)
+
+
+class TestCanonicalProperty:
+    @given(small_patterns(), st.integers(min_value=0, max_value=999))
+    @settings(max_examples=60, deadline=None)
+    def test_random_renaming_preserves_key(self, pattern, seed):
+        rng = random.Random(seed)
+        names = [f"w{i}" for i in range(len(pattern.variables))]
+        rng.shuffle(names)
+        mapping = dict(zip(pattern.variables, names))
+        assert canonical_key(pattern) == canonical_key(pattern.rename(mapping))

@@ -1,0 +1,147 @@
+"""Tests for the generic CEG structure and path-statistics DP."""
+
+import pytest
+
+from repro.core import (
+    CEG,
+    distinct_estimates,
+    estimate_from_ceg,
+    hop_statistics,
+    min_weight_path,
+)
+from repro.errors import EstimationError
+
+
+def _diamond_ceg() -> CEG:
+    """source -> {a: 2 | b: 3} -> target (x5 from a, x7 from b).
+
+    Paths: 2*5=10 (2 hops), 3*7=21 (2 hops), and a long route
+    source -> a -> c -> target: 2*2*2 = 8 (3 hops).
+    """
+    ceg = CEG(source="s", target="t")
+    ceg.add_node("s", 0)
+    ceg.add_node("a", 1)
+    ceg.add_node("b", 1)
+    ceg.add_node("c", 2)
+    ceg.add_node("t", 3)
+    ceg.add_edge("s", "a", 2.0)
+    ceg.add_edge("s", "b", 3.0)
+    ceg.add_edge("a", "t", 5.0)
+    ceg.add_edge("b", "t", 7.0)
+    ceg.add_edge("a", "c", 2.0)
+    ceg.add_edge("c", "t", 2.0)
+    return ceg
+
+
+class TestCEGStructure:
+    def test_rank_must_increase(self):
+        ceg = CEG(source="s", target="t")
+        ceg.add_node("s", 0)
+        ceg.add_node("t", 0)
+        with pytest.raises(ValueError):
+            ceg.add_edge("s", "t", 1.0)
+
+    def test_unregistered_nodes_rejected(self):
+        ceg = CEG(source="s", target="t")
+        ceg.add_node("s", 0)
+        with pytest.raises(ValueError):
+            ceg.add_edge("s", "t", 1.0)
+
+    def test_rank_reregistration_conflict(self):
+        ceg = CEG(source="s", target="t")
+        ceg.add_node("s", 0)
+        with pytest.raises(ValueError):
+            ceg.add_node("s", 1)
+
+    def test_topological_order(self):
+        ceg = _diamond_ceg()
+        order = ceg.topological_order()
+        assert order.index("s") < order.index("a") < order.index("t")
+
+    def test_prune_unreachable(self):
+        ceg = _diamond_ceg()
+        ceg.add_node("dead", 1)
+        ceg.add_edge("s", "dead", 9.0)  # no path onward to target
+        ceg.prune_unreachable()
+        assert "dead" not in ceg.nodes
+        assert "a" in ceg.nodes
+
+
+class TestHopStatistics:
+    def test_hop_buckets(self):
+        stats = hop_statistics(_diamond_ceg())
+        assert set(stats) == {2, 3}
+        assert stats[2].count == 2
+        assert stats[3].count == 1
+
+    def test_two_hop_values(self):
+        stats = hop_statistics(_diamond_ceg())[2]
+        assert stats.minimum == pytest.approx(10.0)
+        assert stats.maximum == pytest.approx(21.0)
+        assert stats.total == pytest.approx(31.0)
+
+    def test_no_path(self):
+        ceg = CEG(source="s", target="t")
+        ceg.add_node("s", 0)
+        ceg.add_node("t", 1)
+        assert hop_statistics(ceg) == {}
+
+
+class TestEstimateFromCeg:
+    def test_all_nine_values(self):
+        ceg = _diamond_ceg()
+        assert estimate_from_ceg(ceg, "max", "max") == pytest.approx(8.0)
+        assert estimate_from_ceg(ceg, "max", "min") == pytest.approx(8.0)
+        assert estimate_from_ceg(ceg, "max", "avg") == pytest.approx(8.0)
+        assert estimate_from_ceg(ceg, "min", "max") == pytest.approx(21.0)
+        assert estimate_from_ceg(ceg, "min", "min") == pytest.approx(10.0)
+        assert estimate_from_ceg(ceg, "min", "avg") == pytest.approx(15.5)
+        assert estimate_from_ceg(ceg, "all", "max") == pytest.approx(21.0)
+        assert estimate_from_ceg(ceg, "all", "min") == pytest.approx(8.0)
+        assert estimate_from_ceg(ceg, "all", "avg") == pytest.approx(13.0)
+
+    def test_invalid_choices(self):
+        ceg = _diamond_ceg()
+        with pytest.raises(ValueError):
+            estimate_from_ceg(ceg, "bogus", "max")
+        with pytest.raises(ValueError):
+            estimate_from_ceg(ceg, "max", "bogus")
+
+    def test_no_path_raises(self):
+        ceg = CEG(source="s", target="t")
+        ceg.add_node("s", 0)
+        ceg.add_node("t", 1)
+        with pytest.raises(EstimationError):
+            estimate_from_ceg(ceg, "max", "max")
+
+
+class TestDistinctEstimates:
+    def test_values(self):
+        estimates = distinct_estimates(_diamond_ceg())
+        assert estimates == [8.0, 10.0, 21.0]
+
+    def test_duplicates_collapse(self):
+        ceg = CEG(source="s", target="t")
+        ceg.add_node("s", 0)
+        ceg.add_node("a", 1)
+        ceg.add_node("b", 1)
+        ceg.add_node("t", 2)
+        ceg.add_edge("s", "a", 2.0)
+        ceg.add_edge("s", "b", 4.0)
+        ceg.add_edge("a", "t", 6.0)
+        ceg.add_edge("b", "t", 3.0)
+        assert distinct_estimates(ceg) == [12.0]
+
+
+class TestMinWeightPath:
+    def test_min_path(self):
+        product, edges = min_weight_path(_diamond_ceg())
+        assert product == pytest.approx(8.0)
+        assert [e.target for e in edges] == ["a", "c", "t"]
+
+    def test_no_path_raises(self):
+        ceg = CEG(source="s", target="t")
+        ceg.add_node("s", 0)
+        ceg.add_node("t", 1)
+        with pytest.raises(EstimationError):
+            min_weight_path(ceg)

@@ -1,0 +1,108 @@
+"""Tests for dataset presets and workload generators."""
+
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    acyclic_workload,
+    cyclic_workload,
+    dataset_table,
+    gcare_acyclic_workload,
+    gcare_cyclic_workload,
+    job_like_workload,
+    load_dataset,
+    split_cyclic_by_cycle_size,
+)
+from repro.engine import count_pattern
+from repro.errors import DatasetError
+from repro.query.shape import has_only_triangles, is_acyclic
+
+
+SCALE = 0.03  # tiny graphs for fast tests
+
+
+class TestPresets:
+    def test_six_datasets(self):
+        assert set(DATASETS) == {
+            "imdb", "yago", "dblp", "watdiv", "hetionet", "epinions",
+        }
+
+    def test_load_and_cache(self):
+        a = load_dataset("hetionet", SCALE)
+        b = load_dataset("hetionet", SCALE)
+        assert a is b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_epinions_has_no_label_correlation_knob(self):
+        assert DATASETS["epinions"].label_correlation == 0.0
+
+    def test_dataset_table_shape(self):
+        rows = dataset_table(SCALE)
+        assert len(rows) == 6
+        assert {"dataset", "domain", "|V|", "|E|", "|E. Labels|"} <= set(rows[0])
+
+    def test_scale_shrinks(self):
+        small = load_dataset("dblp", 0.02)
+        large = load_dataset("dblp", 0.05)
+        assert small.num_edges < large.num_edges
+
+
+class TestWorkloads:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("hetionet", SCALE)
+
+    def test_job_like_nonempty_truths(self, graph):
+        workload = job_like_workload(graph, per_template=2, seed=1)
+        assert workload
+        for query in workload:
+            assert query.true_cardinality > 0
+            assert is_acyclic(query.pattern)
+
+    def test_job_like_truths_are_exact(self, graph):
+        workload = job_like_workload(graph, per_template=1, seed=2)
+        for query in workload[:3]:
+            assert count_pattern(graph, query.pattern) == pytest.approx(
+                query.true_cardinality
+            )
+
+    def test_acyclic_covers_sizes(self, graph):
+        workload = acyclic_workload(graph, per_template=1, seed=3, sizes=(6, 7))
+        sizes = {len(q.pattern) for q in workload}
+        assert sizes <= {6, 7}
+        assert len(sizes) >= 1
+
+    def test_cyclic_instances_are_cyclic(self, graph):
+        workload = cyclic_workload(graph, per_template=2, seed=4)
+        for query in workload:
+            assert not is_acyclic(query.pattern)
+            assert query.true_cardinality >= 1
+
+    def test_gcare_acyclic(self, graph):
+        workload = gcare_acyclic_workload(
+            graph, per_template=1, seed=5, sizes=(3, 6)
+        )
+        assert workload
+        assert all(is_acyclic(q.pattern) for q in workload)
+
+    def test_gcare_cyclic(self, graph):
+        workload = gcare_cyclic_workload(graph, per_template=1, seed=6)
+        for query in workload:
+            assert not is_acyclic(query.pattern)
+
+    def test_determinism(self, graph):
+        a = job_like_workload(graph, per_template=1, seed=9)
+        b = job_like_workload(graph, per_template=1, seed=9)
+        assert [q.pattern for q in a] == [q.pattern for q in b]
+
+    def test_split_by_cycle_size(self, graph):
+        workload = cyclic_workload(graph, per_template=2, seed=7)
+        triangles, large = split_cyclic_by_cycle_size(workload, h=3)
+        for query in triangles:
+            assert has_only_triangles(query.pattern)
+        for query in large:
+            assert not has_only_triangles(query.pattern)
+        assert len(triangles) + len(large) <= len(workload)

@@ -1,0 +1,110 @@
+"""Smoke tests for the experiment drivers and the CLI.
+
+Each driver runs end to end on a micro configuration; assertions are
+structural (rows exist, columns present), not statistical — the shape
+assertions live in the benchmark suite where workloads are big enough.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    figure9_acyclic_space,
+    figure10_cyclic_triangles,
+    figure11_large_cycles,
+    figure12_bound_sketch,
+    figure13_summary_comparison,
+    figure14_wanderjoin,
+    figure15_plan_quality,
+    table1_markov_example,
+    table2_datasets,
+)
+
+TINY = ExperimentConfig(
+    scale=0.02,
+    per_template=1,
+    acyclic_sizes=(6,),
+    gcare_sizes=(3,),
+    sketch_budgets=(1, 4),
+    wj_ratios=(0.1,),
+    datasets=("hetionet", "epinions"),
+)
+
+
+class TestDrivers:
+    def test_table1(self):
+        rows, rendered = table1_markov_example()
+        assert len(rows) == 3
+        assert "Markov" in rendered
+
+    def test_table2(self):
+        rows, rendered = table2_datasets(TINY)
+        assert len(rows) == 6
+
+    def test_fig9(self):
+        rows, rendered = figure9_acyclic_space(TINY)
+        estimators = {row["estimator"] for row in rows}
+        assert "max-hop-max" in estimators and "P*" in estimators
+        assert "Figure 9" in rendered
+
+    def test_fig10(self):
+        rows, rendered = figure10_cyclic_triangles(TINY)
+        # Tiny graphs may have no triangle-only queries; structure only.
+        assert "Figure 10" in rendered
+
+    def test_fig11(self):
+        rows, rendered = figure11_large_cycles(TINY)
+        assert "Figure 11" in rendered
+        if rows:
+            assert {row["ceg"] for row in rows} <= {"CEG_O", "CEG_OCR"}
+
+    def test_fig12(self):
+        rows, rendered = figure12_bound_sketch(TINY)
+        assert "Figure 12" in rendered
+        budgets = {row["K"] for row in rows}
+        assert budgets <= {1, 4}
+
+    def test_fig13(self):
+        rows, rendered = figure13_summary_comparison(TINY)
+        estimators = {row["estimator"] for row in rows}
+        assert {"max-hop-max", "MOLP", "CS", "SumRDF"} <= estimators
+
+    def test_fig14(self):
+        rows, rendered = figure14_wanderjoin(TINY)
+        estimators = {row["estimator"] for row in rows}
+        assert "WJ" in estimators
+
+    def test_fig15(self):
+        config = ExperimentConfig(
+            scale=0.02, per_template=1, acyclic_sizes=(6,),
+            datasets=("dblp",),
+        )
+        rows, rendered = figure15_plan_quality(config)
+        assert "Figure 15" in rendered
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out
+
+    def test_table1_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1"]) == 0
+        assert "Markov" in capsys.readouterr().out
+
+    def test_out_directory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nope"])

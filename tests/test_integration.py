@@ -1,0 +1,158 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises the full pipeline a downstream user would run:
+dataset -> statistics -> estimator -> metric, or dataset -> workload ->
+optimizer -> executor, checking cross-module consistency rather than
+single-module behaviour.
+"""
+
+import pytest
+
+from repro import (
+    MarkovTable,
+    MolpEstimator,
+    OptimisticEstimator,
+    count_pattern,
+    load_dataset,
+)
+from repro.baselines import Rdf3xDefaultEstimator, WanderJoinEstimator
+from repro.catalog import CycleClosingRates, DegreeCatalog
+from repro.core import (
+    PStarOracle,
+    all_nine_estimators,
+    build_ceg_o,
+    build_ceg_ocr,
+    distinct_estimates,
+    estimate_from_ceg,
+    molp_sketch_bound,
+    optimistic_sketch_estimate,
+)
+from repro.datasets import acyclic_workload, cyclic_workload
+from repro.experiments import q_error, run_harness, summarize
+from repro.planner import execute_plan, optimize_left_deep
+
+SCALE = 0.04
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("hetionet", SCALE)
+
+
+@pytest.fixture(scope="module")
+def workload(graph):
+    return acyclic_workload(graph, per_template=1, seed=23, sizes=(6,))
+
+
+class TestEstimationPipeline:
+    def test_exactness_with_large_h(self, graph, workload):
+        """h >= |Q| turns every estimator into the exact count."""
+        query = workload[0]
+        markov = MarkovTable(graph, h=len(query.pattern))
+        for estimator in all_nine_estimators(markov).values():
+            assert estimator.estimate(query.pattern) == pytest.approx(
+                query.true_cardinality
+            )
+
+    def test_molp_dominates_all_optimistic_overestimates(
+        self, graph, workload
+    ):
+        """The MOLP bound caps every CEG_O path estimate's truth side:
+        bound >= truth for each workload query."""
+        molp = MolpEstimator(graph, h=2)
+        for query in workload:
+            assert molp.estimate(query.pattern) >= query.true_cardinality - 1e-6
+
+    def test_pstar_vs_truth(self, graph, workload):
+        markov = MarkovTable(graph, h=2)
+        oracle = PStarOracle(markov)
+        for query in workload[:4]:
+            best = oracle.estimate(query.pattern, query.true_cardinality)
+            estimates = distinct_estimates(
+                build_ceg_o(query.pattern, markov)
+            )
+            target = min(
+                q_error(e, query.true_cardinality) for e in estimates
+            )
+            assert q_error(best, query.true_cardinality) == pytest.approx(
+                target
+            )
+
+    def test_harness_summary_consistency(self, graph, workload):
+        markov = MarkovTable(graph, h=2)
+        estimators = {
+            "max-hop-max": OptimisticEstimator(markov),
+            "rdf3x": Rdf3xDefaultEstimator(graph),
+        }
+        result = run_harness(workload, estimators)
+        manual = summarize(result.estimates["max-hop-max"])
+        assert result.summary("max-hop-max").median == manual.median
+
+    def test_sketch_against_plain(self, graph, workload):
+        query = workload[0]
+        plain = optimistic_sketch_estimate(graph, query.pattern, budget=1, h=2)
+        sketched = optimistic_sketch_estimate(graph, query.pattern, budget=4, h=2)
+        assert plain >= 0 and sketched >= 0
+        direct = molp_sketch_bound(graph, query.pattern, budget=1, h=1)
+        partitioned = molp_sketch_bound(graph, query.pattern, budget=4, h=1)
+        assert partitioned <= direct + 1e-9
+        assert partitioned >= query.true_cardinality - 1e-6
+
+
+class TestCyclicPipeline:
+    def test_ocr_workflow(self, graph):
+        instances = cyclic_workload(graph, per_template=1, seed=29)
+        markov = MarkovTable(graph, h=3)
+        rates = CycleClosingRates(graph, seed=3, samples=200)
+        for query in instances[:3]:
+            plain_ceg = build_ceg_o(query.pattern, markov)
+            ocr_ceg = build_ceg_ocr(query.pattern, markov, rates)
+            plain = estimate_from_ceg(plain_ceg, "max", "max")
+            closed = estimate_from_ceg(ocr_ceg, "max", "max")
+            assert plain >= 0 and closed >= 0
+
+
+class TestPlannerPipeline:
+    def test_plans_execute_to_true_count(self, graph, workload):
+        markov = MarkovTable(graph, h=2)
+        estimator = OptimisticEstimator(markov)
+        for query in workload[:3]:
+            plan = optimize_left_deep(query.pattern, estimator.estimate)
+            run = execute_plan(graph, query.pattern, plan.order)
+            if not run.aborted:
+                assert run.final_cardinality == pytest.approx(
+                    query.true_cardinality
+                )
+
+    def test_wanderjoin_converges_on_workload_query(self, graph, workload):
+        query = workload[0]
+        wj = WanderJoinEstimator(graph, seed=31)
+        runs = [wj.estimate(query.pattern, ratio=1.0) for _ in range(150)]
+        mean = sum(runs) / len(runs)
+        # Unbiasedness: within a loose factor given the variance.
+        assert mean == pytest.approx(query.true_cardinality, rel=0.8)
+
+
+class TestStatisticsSharing:
+    def test_markov_shared_across_estimators(self, graph, workload):
+        markov = MarkovTable(graph, h=2)
+        estimators = all_nine_estimators(markov)
+        for estimator in estimators.values():
+            estimator.estimate(workload[0].pattern)
+        entries_after_first = markov.num_entries
+        for estimator in estimators.values():
+            estimator.estimate(workload[0].pattern)
+        assert markov.num_entries == entries_after_first
+
+    def test_degree_catalog_shared_across_queries(self, graph, workload):
+        catalog = DegreeCatalog(graph, h=1)
+        molp = MolpEstimator(graph, h=1)
+        for query in workload[:3]:
+            bound = molp.estimate(query.pattern)
+            assert bound >= query.true_cardinality - 1e-6
+
+    def test_truth_recount_matches_workload(self, graph, workload):
+        for query in workload[:3]:
+            assert count_pattern(graph, query.pattern) == pytest.approx(
+                query.true_cardinality
+            )

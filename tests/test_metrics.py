@@ -1,0 +1,158 @@
+"""Tests for q-error metrics, summaries, harness and reports."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    QErrorSummary,
+    format_summaries,
+    format_table,
+    q_error,
+    run_harness,
+    signed_log_bar,
+    signed_log_q,
+    summarize,
+)
+
+
+class TestQError:
+    def test_exact(self):
+        assert q_error(10, 10) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(5, 50) == q_error(50, 5) == 10.0
+
+    def test_zero_truth_zero_estimate(self):
+        assert q_error(0, 0) == 1.0
+
+    def test_zero_estimate_nonzero_truth(self):
+        assert q_error(0, 7) == float("inf")
+
+    @given(
+        st.floats(min_value=0.001, max_value=1e9),
+        st.floats(min_value=0.001, max_value=1e9),
+    )
+    def test_at_least_one(self, estimate, truth):
+        assert q_error(estimate, truth) >= 1.0
+
+
+class TestSignedLogQ:
+    def test_underestimate_negative(self):
+        assert signed_log_q(1, 100) == pytest.approx(-2.0)
+
+    def test_overestimate_positive(self):
+        assert signed_log_q(100, 1) == pytest.approx(2.0)
+
+    def test_exact_zero(self):
+        assert signed_log_q(42, 42) == 0.0
+
+    def test_infinite(self):
+        assert signed_log_q(0, 5) == -math.inf
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+
+    def test_all_exact(self):
+        summary = summarize([(10, 10), (5, 5)])
+        assert summary.median == 0.0
+        assert summary.mean_q_error == 1.0
+        assert summary.underestimated_fraction == 0.0
+
+    def test_under_fraction(self):
+        summary = summarize([(1, 10), (10, 1), (1, 100), (7, 7)])
+        assert summary.underestimated_fraction == 0.5
+
+    def test_trimmed_mean_drops_worst(self):
+        # Nineteen perfect estimates and one catastrophic one: the
+        # trimmed mean should ignore the outlier almost entirely.
+        pairs = [(10, 10)] * 19 + [(10, 10**9)]
+        summary = summarize(pairs)
+        assert summary.trimmed_mean_log_q < 0.5
+
+    def test_percentiles_ordered(self):
+        pairs = [(2**i, 1) for i in range(8)]
+        summary = summarize(pairs)
+        assert summary.p25 <= summary.median <= summary.p75
+
+    def test_infinite_clamped(self):
+        summary = summarize([(0, 5)])
+        assert summary.mean_q_error == 1e12
+        assert summary.median == -12.0
+
+
+class TestHarness:
+    def test_runs_and_summarizes(self, tiny_graph):
+        from repro.datasets.workloads import WorkloadQuery
+        from repro.query import parse_pattern
+
+        pattern = parse_pattern("x -[A]-> y")
+        workload = [WorkloadQuery("q1", "t", pattern, 3.0)]
+        result = run_harness(workload, {"const": lambda p: 3.0})
+        assert result.summary("const").mean_q_error == 1.0
+        assert result.mean_time_ms("const") >= 0.0
+
+    def test_failure_drops_query(self, tiny_graph):
+        from repro.datasets.workloads import WorkloadQuery
+        from repro.errors import EstimationError
+        from repro.query import parse_pattern
+
+        pattern = parse_pattern("x -[A]-> y")
+        workload = [WorkloadQuery("q1", "t", pattern, 3.0)]
+
+        def broken(p):
+            raise EstimationError("nope")
+
+        result = run_harness(
+            workload, {"ok": lambda p: 3.0, "broken": broken}
+        )
+        assert result.failures["broken"] == 1
+        assert result.estimates["ok"] == []
+        assert result.skipped_queries == ["q1"]
+
+    def test_keep_on_failure(self, tiny_graph):
+        from repro.datasets.workloads import WorkloadQuery
+        from repro.errors import EstimationError
+        from repro.query import parse_pattern
+
+        pattern = parse_pattern("x -[A]-> y")
+        workload = [WorkloadQuery("q1", "t", pattern, 3.0)]
+
+        def broken(p):
+            raise EstimationError("nope")
+
+        result = run_harness(
+            workload,
+            {"ok": lambda p: 3.0, "broken": broken},
+            drop_on_failure=False,
+        )
+        assert len(result.estimates["ok"]) == 1
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 2.5, "b": "y"}], "T")
+        assert "T" in text
+        assert "2.5" in text
+
+    def test_empty_table(self):
+        assert "(no rows)" in format_table([], "T")
+
+    def test_format_summaries(self):
+        summaries = {"e": summarize([(1, 1)])}
+        text = format_summaries(summaries, "title")
+        assert "e" in text and "title" in text
+
+    def test_signed_log_bar(self):
+        exact = signed_log_bar(0.0)
+        assert "|" in exact and "#" not in exact
+        over = signed_log_bar(3.0)
+        under = signed_log_bar(-3.0)
+        assert over.index("#") > over.index("|")
+        assert under.index("#") < under.index("|")
+        assert signed_log_bar(float("nan")).strip() == ""

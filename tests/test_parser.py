@@ -1,0 +1,48 @@
+"""Tests for the textual pattern syntax."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.query import QueryPattern, format_pattern, parse_pattern
+
+
+class TestParse:
+    def test_forward_chain(self):
+        pattern = parse_pattern("a1 -[A]-> a2 -[B]-> a3")
+        assert pattern == QueryPattern([("a1", "a2", "A"), ("a2", "a3", "B")])
+
+    def test_backward_hop(self):
+        pattern = parse_pattern("a1 <-[A]- a2")
+        assert pattern == QueryPattern([("a2", "a1", "A")])
+
+    def test_mixed_directions(self):
+        pattern = parse_pattern("a -[X]-> b <-[Y]- c")
+        assert pattern == QueryPattern([("a", "b", "X"), ("c", "b", "Y")])
+
+    def test_multiple_chains(self):
+        pattern = parse_pattern("a -[A]-> b, b -[B]-> c; c -[C]-> a")
+        assert len(pattern) == 3
+
+    def test_whitespace_tolerance(self):
+        pattern = parse_pattern("  a-[A]->b ")
+        assert pattern == QueryPattern([("a", "b", "A")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("   ")
+
+    def test_chain_without_edge_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("lonely")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("a -[A]-> b ???")
+
+
+class TestRoundtrip:
+    def test_format_then_parse(self):
+        pattern = QueryPattern(
+            [("a1", "a2", "A"), ("a3", "a2", "B"), ("a3", "a4", "C")]
+        )
+        assert parse_pattern(format_pattern(pattern)) == pattern

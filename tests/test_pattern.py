@@ -1,0 +1,144 @@
+"""Unit tests for QueryPattern / QueryEdge."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.query import QueryEdge, QueryPattern
+
+
+def _chain3() -> QueryPattern:
+    return QueryPattern([("a1", "a2", "A"), ("a2", "a3", "B"), ("a3", "a4", "C")])
+
+
+class TestQueryEdge:
+    def test_variables(self):
+        edge = QueryEdge("x", "y", "A")
+        assert edge.variables() == ("x", "y")
+
+    def test_touches(self):
+        edge = QueryEdge("x", "y", "A")
+        assert edge.touches("x") and edge.touches("y")
+        assert not edge.touches("z")
+
+    def test_other_end(self):
+        edge = QueryEdge("x", "y", "A")
+        assert edge.other_end("x") == "y"
+        assert edge.other_end("y") == "x"
+
+    def test_other_end_rejects_foreign_var(self):
+        with pytest.raises(PatternError):
+            QueryEdge("x", "y", "A").other_end("z")
+
+    def test_self_loop_other_end(self):
+        assert QueryEdge("x", "x", "A").other_end("x") == "x"
+
+    def test_str(self):
+        assert str(QueryEdge("x", "y", "A")) == "x-[A]->y"
+
+
+class TestQueryPatternBasics:
+    def test_tuple_construction(self):
+        pattern = QueryPattern([("a", "b", "A")])
+        assert pattern.edges[0] == QueryEdge("a", "b", "A")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            QueryPattern([])
+
+    def test_duplicate_atom_rejected(self):
+        with pytest.raises(PatternError):
+            QueryPattern([("a", "b", "A"), ("a", "b", "A")])
+
+    def test_parallel_different_labels_allowed(self):
+        pattern = QueryPattern([("a", "b", "A"), ("a", "b", "B")])
+        assert len(pattern) == 2
+
+    def test_variables_in_first_appearance_order(self):
+        assert _chain3().variables == ("a1", "a2", "a3", "a4")
+
+    def test_labels(self):
+        assert _chain3().labels == ("A", "B", "C")
+
+    def test_equality_is_order_insensitive(self):
+        p1 = QueryPattern([("a", "b", "A"), ("b", "c", "B")])
+        p2 = QueryPattern([("b", "c", "B"), ("a", "b", "A")])
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+
+    def test_inequality(self):
+        p1 = QueryPattern([("a", "b", "A")])
+        p2 = QueryPattern([("a", "b", "B")])
+        assert p1 != p2
+
+    def test_getitem_and_iter(self):
+        pattern = _chain3()
+        assert pattern[1].label == "B"
+        assert [e.label for e in pattern] == ["A", "B", "C"]
+
+
+class TestStructure:
+    def test_edges_at(self):
+        pattern = _chain3()
+        assert set(pattern.edges_at("a2")) == {0, 1}
+        assert pattern.edges_at("missing") == ()
+
+    def test_degree(self):
+        pattern = _chain3()
+        assert pattern.degree("a1") == 1
+        assert pattern.degree("a2") == 2
+
+    def test_self_loop_degree_counted_once(self):
+        pattern = QueryPattern([("a", "a", "A")])
+        assert pattern.degree("a") == 1
+
+    def test_variables_of(self):
+        pattern = _chain3()
+        assert pattern.variables_of([0, 1]) == frozenset({"a1", "a2", "a3"})
+
+    def test_subpattern(self):
+        sub = _chain3().subpattern([1, 2])
+        assert sub.labels == ("B", "C")
+
+    def test_subpattern_empty_rejected(self):
+        with pytest.raises(PatternError):
+            _chain3().subpattern([])
+
+    def test_is_connected_subset(self):
+        pattern = _chain3()
+        assert pattern.is_connected_subset([0, 1])
+        assert not pattern.is_connected_subset([0, 2])
+        assert pattern.is_connected_subset([])
+
+    def test_is_connected(self):
+        assert _chain3().is_connected()
+        disconnected = QueryPattern([("a", "b", "A"), ("c", "d", "B")])
+        assert not disconnected.is_connected()
+
+    def test_neighbors_of_subset(self):
+        pattern = _chain3()
+        assert pattern.neighbors_of_subset([0]) == frozenset({1})
+        assert pattern.neighbors_of_subset([1]) == frozenset({0, 2})
+
+    def test_connected_edge_subsets_count(self):
+        # 3-chain: {0},{1},{2},{01},{12},{012} — {02} is disconnected.
+        subsets = _chain3().connected_edge_subsets()
+        assert len(subsets) == 6
+        assert frozenset({0, 2}) not in subsets
+
+    def test_connected_edge_subsets_max_size(self):
+        subsets = _chain3().connected_edge_subsets(max_size=2)
+        assert all(len(s) <= 2 for s in subsets)
+        assert len(subsets) == 5
+
+    def test_rename(self):
+        renamed = _chain3().rename({"a1": "x"})
+        assert "x" in renamed.variables
+        assert "a1" not in renamed.variables
+
+    def test_with_labels(self):
+        relabeled = _chain3().with_labels(["X", "Y", "Z"])
+        assert relabeled.labels == ("X", "Y", "Z")
+
+    def test_with_labels_length_mismatch(self):
+        with pytest.raises(PatternError):
+            _chain3().with_labels(["X"])

@@ -1,0 +1,39 @@
+"""Tests for the per-template breakdown driver."""
+
+from repro.datasets import acyclic_workload
+from repro.experiments import per_template_breakdown
+
+
+class TestPerTemplateBreakdown:
+    def test_groups_by_template(self, medium_random_graph):
+        workload = acyclic_workload(
+            medium_random_graph, per_template=1, seed=5, sizes=(6,)
+        )
+        rows, rendered = per_template_breakdown(
+            medium_random_graph, workload, h=2,
+            estimators=("max-hop-max", "min-hop-min"),
+        )
+        templates = {row["template"] for row in rows}
+        assert templates <= {q.template for q in workload}
+        assert "Per-template" in rendered
+
+    def test_estimator_filter(self, medium_random_graph):
+        workload = acyclic_workload(
+            medium_random_graph, per_template=1, seed=5, sizes=(6,)
+        )
+        rows, _ = per_template_breakdown(
+            medium_random_graph, workload, h=2,
+            estimators=("max-hop-max",),
+        )
+        assert {row["estimator"] for row in rows} <= {"max-hop-max"}
+
+    def test_summary_columns_present(self, medium_random_graph):
+        workload = acyclic_workload(
+            medium_random_graph, per_template=1, seed=5, sizes=(6,)
+        )
+        rows, _ = per_template_breakdown(
+            medium_random_graph, workload, h=2
+        )
+        if rows:
+            assert "mean(log q, -top10%)" in rows[0]
+            assert "under%" in rows[0]

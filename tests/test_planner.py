@@ -1,0 +1,123 @@
+"""Tests for the DP join-order optimizer and plan executor."""
+
+import pytest
+
+from repro.engine import count_pattern
+from repro.errors import PlanningError
+from repro.planner import execute_plan, optimize_left_deep
+from repro.query import QueryPattern, parse_pattern, templates
+
+
+class TestOptimizer:
+    def test_single_atom(self, tiny_graph):
+        query = parse_pattern("x -[A]-> y")
+        plan = optimize_left_deep(query, lambda p: 1.0)
+        assert plan.order == [0]
+
+    def test_order_is_permutation(self, tiny_graph):
+        query = parse_pattern("a -[A]-> b -[B]-> c -[C]-> d")
+        plan = optimize_left_deep(query, lambda p: float(len(p)))
+        assert sorted(plan.order) == [0, 1, 2]
+
+    def test_order_is_connected_prefix(self, tiny_graph):
+        query = templates.fork(2, 2)
+        plan = optimize_left_deep(query, lambda p: float(len(p)))
+        bound: set[str] = set()
+        for position, index in enumerate(plan.order):
+            edge = query.edges[index]
+            if position > 0:
+                assert edge.src in bound or edge.dst in bound
+            bound.update(edge.variables())
+
+    def test_estimates_steer_the_order(self, tiny_graph):
+        """Making atom 2 look tiny should make it the starting atom."""
+        query = parse_pattern("a -[A]-> b -[B]-> c -[C]-> d")
+
+        def skewed(pattern: QueryPattern) -> float:
+            if len(pattern) == 1 and pattern.edges[0].label == "C":
+                return 0.001
+            return 1000.0 ** len(pattern)
+
+        plan = optimize_left_deep(query, skewed)
+        assert query.edges[plan.order[0]].label == "C"
+
+    def test_estimator_failure_tolerated(self, tiny_graph):
+        query = parse_pattern("a -[A]-> b -[B]-> c")
+
+        def broken(pattern: QueryPattern) -> float:
+            raise RuntimeError("boom")
+
+        plan = optimize_left_deep(query, broken)
+        assert sorted(plan.order) == [0, 1]
+
+    def test_too_many_atoms_rejected(self):
+        big = templates.path(17)
+        with pytest.raises(PlanningError):
+            optimize_left_deep(big, lambda p: 1.0)
+
+
+class TestExecutor:
+    def test_final_cardinality_matches_counter(self, tiny_graph):
+        query = parse_pattern("a -[A]-> b -[B]-> c -[C]-> d")
+        truth = count_pattern(tiny_graph, query)
+        result = execute_plan(tiny_graph, query, [0, 1, 2])
+        assert result.final_cardinality == pytest.approx(truth)
+
+    def test_any_order_same_final_count(self, medium_random_graph):
+        labels = list(medium_random_graph.labels)
+        query = templates.path(3).with_labels(labels[:3])
+        truth = count_pattern(medium_random_graph, query)
+        for order in ([0, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0]):
+            result = execute_plan(medium_random_graph, query, order)
+            assert result.final_cardinality == pytest.approx(truth), order
+
+    def test_cyclic_query_execution(self, small_random_graph):
+        from repro.engine import PatternSampler
+
+        sampler = PatternSampler(small_random_graph, seed=11)
+        instance = sampler.sample_instance(templates.triangle(), max_tries=300)
+        if instance is None:
+            pytest.skip("no triangle instance")
+        truth = count_pattern(small_random_graph, instance)
+        result = execute_plan(small_random_graph, instance, [0, 1, 2])
+        assert result.final_cardinality == pytest.approx(truth)
+
+    def test_cost_counts_intermediates(self, tiny_graph):
+        query = parse_pattern("a -[A]-> b -[B]-> c")
+        result = execute_plan(tiny_graph, query, [0, 1])
+        # |A| = 3 rows, then 5 joined rows.
+        assert result.intermediate_tuples == pytest.approx(8.0)
+
+    def test_bad_order_rejected(self, tiny_graph):
+        query = parse_pattern("a -[A]-> b -[B]-> c")
+        with pytest.raises(PlanningError):
+            execute_plan(tiny_graph, query, [0, 0])
+
+    def test_abort_on_blowup(self, medium_random_graph):
+        labels = list(medium_random_graph.labels)
+        query = templates.star(4).with_labels(
+            [labels[0], labels[0], labels[1], labels[1]]
+        )
+        result = execute_plan(medium_random_graph, query, [0, 1, 2, 3], max_rows=10)
+        assert result.aborted
+        assert result.intermediate_tuples >= 10
+
+    def test_better_estimates_do_not_hurt(self, medium_random_graph):
+        """An exact-cardinality optimizer's plan is never worse than the
+        worst plan (sanity of the Fig-15 mechanism)."""
+        graph = medium_random_graph
+        labels = list(graph.labels)
+        query = templates.fork(1, 2).with_labels(labels[:3])
+        exact_plan = optimize_left_deep(
+            query, lambda p: count_pattern(graph, p)
+        )
+        exact_cost = execute_plan(graph, query, exact_plan.order).cost
+        from itertools import permutations
+
+        costs = []
+        for order in permutations(range(3)):
+            try:
+                costs.append(execute_plan(graph, query, list(order)).cost)
+            except PlanningError:
+                continue
+        assert exact_cost <= max(costs) + 1e-9

@@ -1,0 +1,108 @@
+"""Tests for query shape analysis (cycles, depth, decompositions)."""
+
+from repro.query import QueryPattern, shape, templates
+
+
+class TestCycles:
+    def test_path_is_acyclic(self):
+        assert shape.is_acyclic(templates.path(4))
+
+    def test_star_is_acyclic(self):
+        assert shape.is_acyclic(templates.star(5))
+
+    def test_cycle_detected(self):
+        assert not shape.is_acyclic(templates.cycle(4))
+
+    def test_triangle_cycles(self):
+        found = shape.cycles(templates.triangle())
+        assert found == [frozenset({0, 1, 2})]
+
+    def test_four_cycle_length(self):
+        assert shape.largest_cycle_length(templates.cycle(4)) == 4
+
+    def test_acyclic_has_no_cycles(self):
+        assert shape.largest_cycle_length(templates.path(3)) == 0
+
+    def test_self_loop_is_cycle(self):
+        pattern = QueryPattern([("a", "a", "A"), ("a", "b", "B")])
+        assert frozenset({0}) in shape.cycles(pattern)
+
+    def test_parallel_atoms_form_2cycle(self):
+        pattern = QueryPattern([("a", "b", "A"), ("a", "b", "B")])
+        assert frozenset({0, 1}) in shape.cycles(pattern)
+
+    def test_k4_has_triangles_and_4cycles(self):
+        lengths = {len(c) for c in shape.cycles(templates.clique(4))}
+        assert 3 in lengths and 4 in lengths
+
+    def test_bowtie_only_triangles(self):
+        assert shape.has_only_triangles(templates.bowtie())
+
+    def test_diamond_not_only_triangles(self):
+        # The diamond contains a 4-cycle (the square) plus triangles.
+        assert not shape.has_only_triangles(templates.diamond_with_chord())
+
+    def test_large_cycle_classification(self):
+        assert shape.is_cyclic_with_large_cycles(templates.cycle(4), h=3)
+        assert not shape.is_cyclic_with_large_cycles(templates.triangle(), h=3)
+        # K4: every 4-cycle contains a chord triangle, but the 4-cycles
+        # still exist as simple cycles, so K4 counts as "large" here; the
+        # workload split in the paper keys on whether all cycles are
+        # triangles, which for K4 is false.
+        assert shape.largest_cycle_length(templates.clique(4)) == 4
+
+
+class TestDepth:
+    def test_star_depth(self):
+        assert shape.depth(templates.star(6)) == 2
+
+    def test_path_depth(self):
+        assert shape.depth(templates.path(6)) == 6
+
+    def test_single_edge_depth(self):
+        assert shape.depth(templates.path(1)) == 1
+
+    def test_tree_of_depth_hits_targets(self):
+        for k in (6, 7, 8):
+            for d in range(2, k + 1):
+                tree = templates.tree_of_depth(k, d)
+                assert len(tree) == k
+                assert shape.depth(tree) == d, (k, d)
+
+
+class TestSpanningDecomposition:
+    def test_acyclic_has_no_closures(self):
+        tree, closures = shape.spanning_tree_and_closures(templates.path(4))
+        assert len(tree) == 4 and closures == []
+
+    def test_cycle_has_one_closure(self):
+        tree, closures = shape.spanning_tree_and_closures(templates.cycle(5))
+        assert len(tree) == 4 and len(closures) == 1
+
+    def test_walk_order_validity(self):
+        pattern = templates.clique(4)
+        tree, closures = shape.spanning_tree_and_closures(pattern)
+        bound: set[str] = set()
+        for position, index in enumerate(tree + closures):
+            edge = pattern.edges[index]
+            if position == 0:
+                bound.update(edge.variables())
+                continue
+            assert edge.src in bound or edge.dst in bound
+            bound.update(edge.variables())
+        assert bound == set(pattern.variables)
+
+
+class TestCycleCompletions:
+    def test_four_cycle_missing_one_edge(self):
+        pattern = templates.cycle(4)
+        completions = shape.cycle_completions(pattern, frozenset({0, 1, 2}), h=3)
+        assert completions == {3: frozenset({0, 1, 2, 3})}
+
+    def test_not_triggered_when_two_missing(self):
+        pattern = templates.cycle(4)
+        assert shape.cycle_completions(pattern, frozenset({0, 1}), h=3) == {}
+
+    def test_not_triggered_for_small_cycles(self):
+        pattern = templates.triangle()
+        assert shape.cycle_completions(pattern, frozenset({0, 1}), h=3) == {}

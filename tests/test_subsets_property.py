@@ -1,0 +1,94 @@
+"""Property tests for connected-subset enumeration and CEG_O coverage.
+
+``connected_edge_subsets`` underlies both CEG builders; its correctness
+is checked against brute-force subset filtering, and CEG_O's vertex set
+is checked to be exactly the reachable connected subsets.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import QueryPattern, templates
+
+
+@st.composite
+def small_connected_patterns(draw):
+    num_edges = draw(st.integers(min_value=1, max_value=6))
+    edges = [("v0", "v1", "?0")]
+    variables = ["v0", "v1"]
+    for i in range(1, num_edges):
+        anchor = draw(st.sampled_from(variables))
+        if draw(st.booleans()):
+            other = f"v{len(variables)}"
+            variables.append(other)
+        else:
+            other = draw(st.sampled_from(variables))
+        candidate = (
+            (anchor, other, f"?{i}")
+            if draw(st.booleans())
+            else (other, anchor, f"?{i}")
+        )
+        edges.append(candidate)
+    return QueryPattern(edges)
+
+
+def _bruteforce_connected_subsets(pattern, max_size=None):
+    indexes = range(len(pattern))
+    limit = len(pattern) if max_size is None else max_size
+    found = set()
+    for size in range(1, limit + 1):
+        for combo in combinations(indexes, size):
+            if pattern.is_connected_subset(combo):
+                found.add(frozenset(combo))
+    return found
+
+
+class TestConnectedSubsets:
+    @given(small_connected_patterns())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, pattern):
+        fast = set(pattern.connected_edge_subsets())
+        slow = _bruteforce_connected_subsets(pattern)
+        assert fast == slow
+
+    @given(small_connected_patterns(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_max_size_respected(self, pattern, max_size):
+        fast = set(pattern.connected_edge_subsets(max_size=max_size))
+        slow = _bruteforce_connected_subsets(pattern, max_size)
+        assert fast == slow
+
+    def test_star_all_subsets_connected(self):
+        star = templates.star(4)
+        # Every non-empty subset of a star is connected through the hub.
+        assert len(star.connected_edge_subsets()) == 2 ** 4 - 1
+
+    def test_path_subset_count(self):
+        # Connected subsets of a k-path are its contiguous runs.
+        path = templates.path(5)
+        expected = 5 + 4 + 3 + 2 + 1
+        assert len(path.connected_edge_subsets()) == expected
+
+
+class TestCegOVertexCoverage:
+    def test_vertices_are_connected_subsets(self, tiny_graph):
+        from repro.catalog import MarkovTable
+        from repro.core import build_ceg_o
+        from repro.query import parse_pattern
+
+        query = parse_pattern("a -[A]-> b -[B]-> c -[C]-> d")
+        ceg = build_ceg_o(query, MarkovTable(tiny_graph, h=2))
+        for node in ceg.nodes:
+            assert query.is_connected_subset(node)
+
+    def test_ranks_match_subset_sizes(self, tiny_graph):
+        from repro.catalog import MarkovTable
+        from repro.core import build_ceg_o
+        from repro.query import parse_pattern
+
+        query = parse_pattern("a -[A]-> b -[B]-> c -[C]-> d")
+        ceg = build_ceg_o(query, MarkovTable(tiny_graph, h=2))
+        for node in ceg.nodes:
+            assert ceg.rank(node) == len(node)

@@ -1,0 +1,106 @@
+"""Tests for the query-template library."""
+
+import random
+
+import pytest
+
+from repro.errors import PatternError
+from repro.query import shape, templates
+
+
+class TestBasicShapes:
+    def test_path_size(self):
+        assert len(templates.path(5)) == 5
+
+    def test_path_rejects_zero(self):
+        with pytest.raises(PatternError):
+            templates.path(0)
+
+    def test_star_center(self):
+        star = templates.star(4)
+        assert star.degree("v0") == 4
+
+    def test_fork_is_running_example_shape(self):
+        q5f = templates.fork(2, 3)
+        assert len(q5f) == 5
+        assert shape.is_acyclic(q5f)
+        assert q5f.degree("v2") == 4  # path end + three branches
+
+    def test_cycle_is_cyclic(self):
+        assert shape.largest_cycle_length(templates.cycle(6)) == 6
+
+    def test_clique_edge_count(self):
+        assert len(templates.clique(4)) == 6
+
+    def test_diamond_edge_count(self):
+        assert len(templates.diamond_with_chord()) == 5
+
+    def test_bowtie_shares_vertex(self):
+        bowtie = templates.bowtie()
+        assert bowtie.degree("c") == 4
+
+    def test_square_with_triangle_size(self):
+        assert len(templates.square_with_triangle()) == 7
+
+    def test_square_with_two_triangles_size(self):
+        assert len(templates.square_with_two_triangles()) == 8
+
+    def test_petal_is_cyclic(self):
+        petal = templates.petal(2, 3)
+        assert len(petal) == 6
+        assert shape.largest_cycle_length(petal) == 6
+
+    def test_flower_size(self):
+        assert len(templates.flower(3, 3)) == 6
+
+    def test_random_tree_is_acyclic(self):
+        rng = random.Random(3)
+        for k in (3, 6, 9):
+            tree = templates.random_tree(k, rng)
+            assert len(tree) == k
+            assert shape.is_acyclic(tree)
+
+    def test_randomize_directions_preserves_shape(self):
+        rng = random.Random(5)
+        original = templates.path(4)
+        flipped = templates.randomize_directions(original, rng)
+        assert len(flipped) == 4
+        assert set(flipped.variables) == set(original.variables)
+
+
+class TestInventories:
+    def test_job_templates_sizes(self):
+        inventory = templates.job_templates()
+        sizes = sorted(len(p) for p in inventory.values())
+        assert sizes == [4, 4, 4, 4, 5, 5, 6]
+        assert all(shape.is_acyclic(p) for p in inventory.values())
+
+    def test_acyclic_templates_cover_all_depths(self):
+        inventory = templates.acyclic_templates()
+        for k in (6, 7, 8):
+            depths = {
+                shape.depth(p)
+                for name, p in inventory.items()
+                if name.startswith(f"acyclic_{k}e")
+            }
+            assert depths == set(range(2, k + 1))
+
+    def test_cyclic_templates_are_cyclic(self):
+        for name, pattern in templates.cyclic_templates().items():
+            assert shape.largest_cycle_length(pattern) >= 3, name
+
+    def test_gcare_acyclic_deterministic(self):
+        a = templates.gcare_acyclic_templates(random.Random(0))
+        b = templates.gcare_acyclic_templates(random.Random(0))
+        assert a.keys() == b.keys()
+        for name in a:
+            assert a[name] == b[name]
+
+    def test_gcare_cyclic_sizes(self):
+        inventory = templates.gcare_cyclic_templates()
+        assert len(inventory["gcare_9cycle"]) == 9
+        assert len(inventory["gcare_6petal"]) == 6
+
+    def test_placeholder_labels(self):
+        for pattern in templates.job_templates().values():
+            assert all(label.startswith("?") for label in pattern.labels)

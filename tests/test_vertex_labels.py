@@ -1,0 +1,105 @@
+"""Vertex-label support (§6.1's extension, realised as @-self-loops)."""
+
+import pytest
+
+from repro.catalog import DegreeCatalog, MarkovTable
+from repro.core import OptimisticEstimator, molp_bound
+from repro.engine import count_pattern
+from repro.graph import (
+    add_vertex_labels,
+    vertex_label_relation,
+    vertex_labels_of_pattern,
+    with_vertex_label,
+)
+from repro.query import parse_pattern
+
+
+@pytest.fixture(scope="module")
+def labeled_graph(tiny_graph):
+    """tiny_graph with vertex labels: sources are 'Src', hubs 'Hub'."""
+    return add_vertex_labels(
+        tiny_graph,
+        {0: "Src", 1: "Src", 2: "Hub", 3: "Hub", 4: ["Hub", "Sink"]},
+    )
+
+
+class TestEncoding:
+    def test_relation_name(self):
+        assert vertex_label_relation("Person") == "@Person"
+
+    def test_labels_added_as_self_loops(self, labeled_graph):
+        relation = labeled_graph.relation("@Hub")
+        assert relation.size == 3
+        assert relation.has_edge(2, 2, labeled_graph.num_vertices)
+
+    def test_multi_labels(self, labeled_graph):
+        assert labeled_graph.cardinality("@Sink") == 1
+
+    def test_original_relations_preserved(self, labeled_graph, tiny_graph):
+        assert labeled_graph.cardinality("A") == tiny_graph.cardinality("A")
+
+    def test_with_vertex_label_builds_atom(self):
+        pattern = with_vertex_label(parse_pattern("x -[A]-> y"), "x", "Src")
+        assert len(pattern) == 2
+        loop = pattern.edges[1]
+        assert loop.src == loop.dst == "x"
+        assert loop.label == "@Src"
+
+    def test_vertex_labels_of_pattern(self):
+        pattern = with_vertex_label(
+            with_vertex_label(parse_pattern("x -[A]-> y"), "x", "Src"),
+            "y",
+            "Hub",
+        )
+        assert vertex_labels_of_pattern(pattern) == {
+            "x": ["Src"], "y": ["Hub"],
+        }
+
+
+class TestCountingWithVertexLabels:
+    def test_predicate_restricts_count(self, labeled_graph):
+        plain = parse_pattern("x -[A]-> y")
+        restricted = with_vertex_label(plain, "x", "Src")
+        all_count = count_pattern(labeled_graph, plain)
+        src_count = count_pattern(labeled_graph, restricted)
+        # A edges: 0->2, 1->2, 0->3; all sources are Src-labeled.
+        assert all_count == 3 and src_count == 3
+        hub_sources = count_pattern(
+            labeled_graph, with_vertex_label(plain, "x", "Hub")
+        )
+        assert hub_sources == 0
+
+    def test_two_predicates(self, labeled_graph):
+        query = with_vertex_label(
+            with_vertex_label(parse_pattern("x -[B]-> y"), "x", "Hub"),
+            "y",
+            "Sink",
+        )
+        # B edges into the Sink-labeled vertex 4: 2->4, 3->4 (both Hub).
+        assert count_pattern(labeled_graph, query) == 2
+
+
+class TestEstimationWithVertexLabels:
+    def test_markov_stores_labeled_entries(self, labeled_graph):
+        markov = MarkovTable(labeled_graph, h=2)
+        entry = with_vertex_label(parse_pattern("x -[A]-> y"), "y", "Hub")
+        assert markov.cardinality(entry) == 3
+
+    def test_optimistic_estimate_runs(self, labeled_graph):
+        markov = MarkovTable(labeled_graph, h=2)
+        estimator = OptimisticEstimator(markov)
+        query = with_vertex_label(
+            parse_pattern("x -[A]-> y -[B]-> z"), "y", "Hub"
+        )
+        estimate = estimator.estimate(query)
+        truth = count_pattern(labeled_graph, query)
+        assert estimate >= 0
+        assert truth > 0
+
+    def test_molp_still_upper_bound(self, labeled_graph):
+        catalog = DegreeCatalog(labeled_graph, h=1)
+        query = with_vertex_label(
+            parse_pattern("x -[A]-> y -[B]-> z"), "y", "Hub"
+        )
+        truth = count_pattern(labeled_graph, query)
+        assert molp_bound(query, catalog) >= truth - 1e-6
