@@ -8,7 +8,7 @@ bench measures each against the default max-hop-max estimator.
 
 from _common import run_once, save_result
 
-from repro.catalog import CycleClosingRates, EntropyCatalog, MarkovTable
+from repro.catalog import EntropyCatalog, MarkovTable
 from repro.core import (
     LowestEntropyEstimator,
     build_ceg_o,
@@ -17,9 +17,7 @@ from repro.core import (
 )
 from repro.datasets import (
     acyclic_workload,
-    cyclic_workload,
     load_dataset,
-    split_cyclic_by_cycle_size,
 )
 from repro.errors import ReproError
 from repro.experiments import summarize

@@ -6,7 +6,7 @@ two orders of magnitude larger and grows with the dataset, whereas the
 summary-based estimator's time is stable and sub-millisecond-scale.
 """
 
-from _common import by_key, metric, run_once, save_result
+from _common import metric, run_once, save_result
 
 from repro.experiments import ExperimentConfig, figure14_wanderjoin
 

@@ -35,6 +35,7 @@ from repro.datasets import load_dataset
 from repro.engine import count_pattern
 from repro.graph import LabeledDiGraph, generate_graph
 from repro.query import QueryEdge, QueryPattern, parse_pattern
+from repro.service import BatchResult, EstimationSession, EstimatorSpec
 
 __version__ = "1.0.0"
 
@@ -66,5 +67,8 @@ __all__ = [
     "SumRdfEstimator",
     "WanderJoinEstimator",
     "Rdf3xDefaultEstimator",
+    "EstimationSession",
+    "EstimatorSpec",
+    "BatchResult",
     "__version__",
 ]

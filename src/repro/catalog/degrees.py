@@ -155,16 +155,21 @@ class DegreeCatalog:
             )
         key = canonical_key(pattern)
         cached = self._cache.get(key)
-        if cached is None or cached.pattern.variables != pattern.variables:
-            # Cache canonical stats but expose the caller's variable names:
-            # rebuild a view with the same match table under renaming.
-            cached = self._cache.get(key)
-            if cached is None:
-                cached = StatRelation(self.graph, pattern, self.max_rows)
-                self._cache[key] = cached
-                return cached
-            return self._renamed_view(cached, pattern)
-        return cached
+        if cached is None:
+            cached = StatRelation(self.graph, pattern, self.max_rows)
+            self._cache[key] = cached
+            return cached
+        if cached.pattern == pattern:
+            return cached
+        # Cache canonical stats but expose the caller's variable names:
+        # rebuild a view with the same match table under renaming.  The
+        # view is required whenever the stored pattern is not *exactly*
+        # the requested one — matching variable name tuples are not
+        # enough, because two isomorphic patterns can reuse the same
+        # names in different structural roles (e.g. the two L-labeled
+        # atoms of ``a-L->b-L->a``), and serving the stored columns
+        # directly would then read degrees of the wrong attribute.
+        return self._renamed_view(cached, pattern)
 
     def _renamed_view(
         self, relation: StatRelation, pattern: QueryPattern

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point: regenerate any table/figure, or serve a batch.
 
 Usage::
 
@@ -6,18 +6,30 @@ Usage::
     python -m repro table2
     python -m repro fig9  --scale 0.08 --per-template 2
     python -m repro all   --scale 0.05 --per-template 1 --out results/
+    python -m repro batch -q "a -[A]-> b -[B]-> c" -e max-hop-max -e MOLP
+    python -m repro batch --file queries.txt --dataset hetionet --repeat 3
 
 Each experiment prints its table; ``--out DIR`` additionally writes one
-``.txt`` per experiment.
+``.txt`` per experiment.  ``batch`` estimates a set of ad-hoc queries
+through the cached :class:`~repro.service.EstimationSession` and prints
+a JSON report (estimates, per-query errors, cache statistics).
+
+``batch`` exit codes: 0 — every estimate succeeded; 1 — at least one
+query failed to estimate (its error is in the report); 2 — the request
+itself is invalid (malformed query text, unknown estimator/dataset).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
+from repro.catalog.cycle_rates import CycleClosingRates
+from repro.datasets.presets import DATASETS, load_dataset
+from repro.errors import ReproError
 from repro.experiments import (
     ExperimentConfig,
     figure9_acyclic_space,
@@ -29,6 +41,12 @@ from repro.experiments import (
     figure15_plan_quality,
     table1_markov_example,
     table2_datasets,
+)
+from repro.query.parser import parse_pattern
+from repro.service.session import (
+    OPTIMISTIC_NAMES,
+    EstimationSession,
+    EstimatorSpec,
 )
 
 EXPERIMENTS = {
@@ -45,7 +63,7 @@ EXPERIMENTS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The repro CLI argument parser."""
+    """The experiment-runner argument parser (everything except ``batch``)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the paper's tables and figures.",
@@ -67,8 +85,171 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    """The ``repro batch`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description=(
+            "Estimate a batch of queries through the cached estimation "
+            "service and print a JSON report."
+        ),
+    )
+    parser.add_argument(
+        "-q", "--query", action="append", default=[], metavar="PATTERN",
+        help="a query in arrow syntax, e.g. 'a -[A]-> b -[B]-> c' (repeatable)",
+    )
+    parser.add_argument(
+        "--file", type=str, default=None, metavar="PATH",
+        help="file with one query per line ('-' for stdin; '#' comments ok)",
+    )
+    parser.add_argument(
+        "-e", "--estimator", action="append", default=[], metavar="NAME",
+        help=(
+            "estimator name: one of the nine max/min/all-hop heuristics "
+            "(e.g. max-hop-max), 'all9' for the full space, 'MOLP', or "
+            "'MOLP-sketch<K>'; repeatable (default: max-hop-max)"
+        ),
+    )
+    parser.add_argument("--dataset", choices=sorted(DATASETS),
+                        default="hetionet",
+                        help="preset dataset to estimate against")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale factor (default 0.05)")
+    parser.add_argument("--h", type=int, default=3,
+                        help="Markov table size (default 3)")
+    parser.add_argument("--molp-h", type=int, default=2,
+                        help="MOLP join-statistics size (default 2)")
+    parser.add_argument("--cycle-rates", action="store_true",
+                        help="sample cycle-closing rates (enables '+ocr' specs)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed for cycle-rate sampling")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="thread-pool size for the batch (default: auto)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run the batch N times against one session "
+                             "(later passes exercise the caches)")
+    parser.add_argument("--indent", action="store_true",
+                        help="pretty-print the JSON report")
+    return parser
+
+
+def _read_queries(args: argparse.Namespace) -> list[str]:
+    texts = list(args.query)
+    if args.file is not None:
+        if args.file == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            lines = Path(args.file).read_text(encoding="utf-8").splitlines()
+        for line in lines:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("#"):
+                texts.append(stripped)
+    return texts
+
+
+def _resolve_specs(names: list[str]) -> list[EstimatorSpec]:
+    expanded: list[str] = []
+    for name in names or ["max-hop-max"]:
+        if name == "all9":
+            expanded.extend(OPTIMISTIC_NAMES)
+        else:
+            expanded.append(name)
+    specs: list[EstimatorSpec] = []
+    seen: set[str] = set()
+    for name in expanded:
+        spec = EstimatorSpec.from_name(name)
+        if spec.name not in seen:
+            seen.add(spec.name)
+            specs.append(spec)
+    return specs
+
+
+def run_batch(argv: list[str]) -> int:
+    """The ``repro batch`` subcommand; returns a process exit code."""
+    args = build_batch_parser().parse_args(argv)
+    try:
+        specs = _resolve_specs(args.estimator)
+    except ValueError as error:
+        print(f"repro batch: {error}", file=sys.stderr)
+        return 2
+    if any(spec.use_cycle_rates for spec in specs) and not args.cycle_rates:
+        print(
+            "repro batch: '+ocr' estimators need --cycle-rates",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        texts = _read_queries(args)
+    except OSError as error:
+        print(f"repro batch: cannot read query file: {error}", file=sys.stderr)
+        return 2
+    if not texts:
+        print("repro batch: no queries given (use -q or --file)",
+              file=sys.stderr)
+        return 2
+    try:
+        patterns = [parse_pattern(text) for text in texts]
+    except ReproError as error:
+        print(f"repro batch: malformed query: {error}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    try:
+        graph = load_dataset(args.dataset, args.scale)
+    except ReproError as error:
+        print(f"repro batch: {error}", file=sys.stderr)
+        return 2
+    rates = (
+        CycleClosingRates(graph, seed=args.seed) if args.cycle_rates else None
+    )
+    session = EstimationSession(
+        graph,
+        h=args.h,
+        molp_h=args.molp_h,
+        cycle_rates=rates,
+        max_workers=args.workers,
+    )
+    repeats = max(args.repeat, 1)
+    for _ in range(repeats):
+        batch = session.estimate_batch(patterns, specs=specs)
+    report = {
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "graph": {
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+        "estimators": batch.specs,
+        "num_queries": len(patterns),
+        "repeat": repeats,
+        "results": [
+            {
+                "index": index,
+                "query": text,
+                "estimates": {
+                    name: batch.item(index, name).estimate
+                    for name in batch.specs
+                    if batch.item(index, name).ok
+                },
+                "errors": {
+                    name: batch.item(index, name).error
+                    for name in batch.specs
+                    if not batch.item(index, name).ok
+                },
+            }
+            for index, text in enumerate(texts)
+        ],
+        "cache": session.stats().as_dict(),
+        "elapsed_seconds": time.perf_counter() - started,
+    }
+    print(json.dumps(report, indent=2 if args.indent else None))
+    return 0 if batch.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Run the selected experiment(s); returns a process exit code."""
+    """Run the selected experiment(s) or batch; returns an exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "batch":
+        return run_batch(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -60,14 +60,21 @@ def molp_sketch_bound(
     budget: int,
     h: int = 2,
     max_rows: int | None = 5_000_000,
+    catalog: DegreeCatalog | None = None,
 ) -> float:
     """MOLP with bound sketch: sum of per-partition MOLP bounds.
 
     ``budget = 1`` degenerates to plain MOLP.  The summed bound is
     clamped by the direct bound (partitioning is guaranteed not to make
     the estimate worse — reference [5]).
+
+    ``catalog`` reuses an existing whole-graph degree catalog (its ``h``
+    and ``max_rows`` take precedence) instead of materialising a fresh
+    one; the per-partition catalogs are always fresh since they describe
+    different subgraphs.
     """
-    catalog = DegreeCatalog(graph, h=h, max_rows=max_rows)
+    if catalog is None:
+        catalog = DegreeCatalog(graph, h=h, max_rows=max_rows)
     direct, path = molp_min_path(query, catalog)
     if budget <= 1 or direct == 0.0:
         return direct

@@ -28,6 +28,7 @@ from repro.core.paths import (
     estimate_from_ceg,
 )
 from repro.graph.digraph import LabeledDiGraph
+from repro.query.canonical import canonical_key, canonical_pattern
 from repro.query.pattern import QueryPattern
 
 __all__ = [
@@ -56,7 +57,7 @@ class OptimisticEstimator:
         self.path_length = path_length
         self.aggregator = aggregator
         self.cycle_rates = cycle_rates
-        self._ceg_cache: dict[QueryPattern, CEG] = {}
+        self._ceg_cache: dict[tuple, CEG] = {}
 
     @property
     def name(self) -> str:
@@ -65,13 +66,25 @@ class OptimisticEstimator:
         return f"{hop}-{self.aggregator}"
 
     def build_ceg(self, query: QueryPattern) -> CEG:
-        """The (cached) CEG for a query."""
-        cached = self._ceg_cache.get(query)
+        """The (cached) CEG for a query, shared across variable renamings.
+
+        The CEG is built from the query's *canonical* pattern and cached
+        under its canonical key, so every renaming of the same shape maps
+        to one CEG and one estimate.  Estimates therefore depend only on
+        the query's shape, which is what lets :mod:`repro.service` serve
+        shape-cached results that are bit-identical to fresh ones (float
+        summation order in the path DP would otherwise differ between two
+        edge orderings of the same query).
+        """
+        key = canonical_key(query)
+        cached = self._ceg_cache.get(key)
         if cached is None:
-            cached = build_ceg_o(query, self.markov, cycle_rates=self.cycle_rates)
+            cached = build_ceg_o(
+                canonical_pattern(query), self.markov, cycle_rates=self.cycle_rates
+            )
             if len(self._ceg_cache) > 256:
                 self._ceg_cache.clear()
-            self._ceg_cache[query] = cached
+            self._ceg_cache[key] = cached
         return cached
 
     def estimate(self, query: QueryPattern) -> float:
@@ -139,7 +152,12 @@ class MolpEstimator:
         """Upper bound on the query's cardinality."""
         if self.budget > 1:
             return molp_sketch_bound(
-                self.graph, query, self.budget, h=self.h, max_rows=self.max_rows
+                self.graph,
+                query,
+                self.budget,
+                h=self.h,
+                max_rows=self.max_rows,
+                catalog=self._catalog,
             )
         return molp_bound(query, self._catalog)
 

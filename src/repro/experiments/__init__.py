@@ -12,7 +12,11 @@ from repro.experiments.figures import (
     table1_markov_example,
     table2_datasets,
 )
-from repro.experiments.harness import HarnessResult, run_harness
+from repro.experiments.harness import (
+    HarnessResult,
+    run_harness,
+    run_harness_batched,
+)
 from repro.experiments.per_template import per_template_breakdown
 from repro.experiments.metrics import QErrorSummary, q_error, signed_log_q, summarize
 from repro.experiments.report import format_summaries, format_table, signed_log_bar
@@ -30,6 +34,7 @@ __all__ = [
     "figure15_plan_quality",
     "HarnessResult",
     "run_harness",
+    "run_harness_batched",
     "per_template_breakdown",
     "QErrorSummary",
     "q_error",

@@ -18,7 +18,6 @@ from repro.baselines import (
 )
 from repro.catalog import CycleClosingRates, MarkovTable
 from repro.core import (
-    MolpEstimator,
     all_nine_estimators,
     molp_sketch_bound,
     optimistic_sketch_estimate,
@@ -40,6 +39,7 @@ from repro.experiments.metrics import summarize
 from repro.experiments.report import format_table
 from repro.graph.digraph import LabeledDiGraph
 from repro.planner import execute_plan, optimize_left_deep
+from repro.service.session import EstimationSession
 
 __all__ = [
     "ExperimentConfig",
@@ -153,13 +153,18 @@ def _space_rows(
 ) -> list[dict[str, object]]:
     """Evaluate all nine §4.2 estimators plus the P* oracle.
 
-    Builds each query's CEG once and reads every heuristic off it (the
-    nine estimates and the oracle differ only in how they pick paths).
+    Runs through an :class:`EstimationSession`: each canonical query
+    shape builds its CEG once and every heuristic reads off the cached
+    skeleton (the nine estimates and the oracle differ only in how they
+    pick paths).  Instances whose sampled labels differ are distinct
+    shapes — the cross-query cache only kicks in when a workload
+    actually repeats a (structure, labels) shape.
     """
-    from repro.core import build_ceg_o, distinct_estimates, estimate_from_ceg
+    from repro.core import distinct_estimates, estimate_from_ceg
     from repro.experiments.metrics import q_error
 
-    markov = MarkovTable(graph, h=h)
+    session = EstimationSession(graph, h=h, cycle_rates=cycle_rates)
+    use_ocr = cycle_rates is not None
     names = [
         f"{hop}-{aggr}"
         for hop in ("max-hop", "min-hop", "all-hops")
@@ -175,7 +180,7 @@ def _space_rows(
     }
     for query in workload:
         try:
-            ceg = build_ceg_o(query.pattern, markov, cycle_rates=cycle_rates)
+            ceg = session.ceg_for(query.pattern, use_cycle_rates=use_ocr)
             for name, (hop, aggr) in zip(names, choices):
                 value = estimate_from_ceg(ceg, hop, aggr)
                 pairs[name].append((value, query.true_cardinality))
@@ -310,10 +315,13 @@ def figure13_summary_comparison(config: ExperimentConfig | None = None):
     for dataset in chosen:
         graph = load_dataset(dataset, config.scale)
         workload = config.workload_for(dataset, graph, "acyclic")
-        markov = MarkovTable(graph, h=2)
+        # The summary-based estimators share one session (one Markov
+        # table, one degree catalog); queries that repeat a canonical
+        # shape are additionally served from its estimate cache.
+        session = EstimationSession(graph, h=2, molp_h=2)
         estimators = {
-            "max-hop-max": all_nine_estimators(markov)["max-hop-max"],
-            "MOLP": MolpEstimator(graph, h=2),
+            "max-hop-max": session.estimator("max-hop-max"),
+            "MOLP": session.estimator("MOLP"),
             "CS": CharacteristicSetsEstimator(graph),
             "SumRDF": SumRdfEstimator(graph),
         }

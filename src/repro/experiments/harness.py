@@ -4,20 +4,33 @@ Runs a dictionary of estimators over a workload, collecting per-query
 estimates, timings and failures (timeouts are recorded and the query is
 dropped from every estimator's distribution, the paper's convention when
 SumRDF timed out).
+
+:func:`run_harness_batched` is the service-backed variant: instead of
+calling estimator objects one query at a time it pushes the whole
+workload through an :class:`~repro.service.session.EstimationSession`
+batch, so repeated query shapes share CEG skeletons and cached
+estimates.  Both functions produce the same :class:`HarnessResult`
+shape.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Protocol, Sequence
 
 from repro.datasets.workloads import WorkloadQuery
 from repro.errors import ReproError
 from repro.experiments.metrics import QErrorSummary, summarize
 from repro.query.pattern import QueryPattern
+from repro.service.session import EstimationSession, EstimatorSpec
 
-__all__ = ["EstimatorLike", "HarnessResult", "run_harness"]
+__all__ = [
+    "EstimatorLike",
+    "HarnessResult",
+    "run_harness",
+    "run_harness_batched",
+]
 
 
 class EstimatorLike(Protocol):
@@ -91,4 +104,46 @@ def run_harness(
         for name, pair in row.items():
             result.estimates[name].append(pair)
             result.timings[name].append(durations[name])
+    return result
+
+
+def run_harness_batched(
+    workload: list[WorkloadQuery],
+    session: EstimationSession,
+    specs: Sequence[EstimatorSpec | str],
+    drop_on_failure: bool = True,
+    max_workers: int | None = None,
+) -> HarnessResult:
+    """Estimate a workload through a session's cached batch path.
+
+    Semantically equivalent to :func:`run_harness` over
+    ``session.estimators(specs)`` (same drop-on-failure convention, same
+    result shape) but runs as one :meth:`EstimationSession.estimate_batch`
+    call, so queries of the same canonical shape are estimated once.
+    """
+    batch = session.estimate_batch(
+        [query.pattern for query in workload],
+        specs=specs,
+        max_workers=max_workers,
+    )
+    result = HarnessResult()
+    for name in batch.specs:
+        result.estimates[name] = []
+        result.timings[name] = []
+        result.failures[name] = 0
+    for index, query in enumerate(workload):
+        cells = [batch.item(index, name) for name in batch.specs]
+        failed = [cell for cell in cells if not cell.ok]
+        for cell in failed:
+            result.failures[cell.estimator] += 1
+        if failed and drop_on_failure:
+            result.skipped_queries.append(query.name)
+            continue
+        for cell in cells:
+            if not cell.ok:
+                continue
+            result.estimates[cell.estimator].append(
+                (cell.estimate, query.true_cardinality)
+            )
+            result.timings[cell.estimator].append(cell.seconds)
     return result

@@ -5,6 +5,13 @@ hold for each acyclic and cyclic query template").
 Groups a workload's q-errors by template and reports each estimator's
 summary per template, so the template-level version of the Figure-9/11
 claims can be checked (the paper publishes these charts in its repo).
+
+Estimation goes through an :class:`~repro.service.EstimationSession`:
+all requested heuristics for one query read a single cached CEG
+skeleton, and any queries that coincide on canonical shape (same
+structure *and* labels, e.g. renamed duplicates) are served straight
+from the estimate cache.  Template instances with independently
+sampled labels are distinct shapes and still build their own CEGs.
 """
 
 from __future__ import annotations
@@ -12,18 +19,14 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.catalog.cycle_rates import CycleClosingRates
-from repro.catalog.markov import MarkovTable
-from repro.core import build_ceg_o, estimate_from_ceg
 from repro.datasets.workloads import WorkloadQuery
 from repro.errors import ReproError
 from repro.experiments.metrics import summarize
 from repro.experiments.report import format_table
 from repro.graph.digraph import LabeledDiGraph
+from repro.service.session import OPTIMISTIC_NAMES, EstimationSession
 
 __all__ = ["per_template_breakdown"]
-
-_HOPS = ("max", "min", "all")
-_AGGS = ("max", "min", "avg")
 
 
 def per_template_breakdown(
@@ -32,24 +35,25 @@ def per_template_breakdown(
     h: int = 3,
     cycle_rates: CycleClosingRates | None = None,
     estimators: tuple[str, ...] = ("max-hop-max", "min-hop-min", "all-hops-avg"),
+    session: EstimationSession | None = None,
 ) -> tuple[list[dict[str, object]], str]:
-    """Rows of per-(template, estimator) q-error summaries."""
-    markov = MarkovTable(graph, h=h)
-    wanted: list[tuple[str, str, str]] = []
-    for hop in _HOPS:
-        for agg in _AGGS:
-            name = f"{'all-hops' if hop == 'all' else hop + '-hop'}-{agg}"
-            if name in estimators:
-                wanted.append((name, hop, agg))
+    """Rows of per-(template, estimator) q-error summaries.
+
+    ``session`` reuses an existing service session (its graph must match);
+    by default a fresh one is created for the call.  When the session
+    carries cycle rates the estimates use ``CEG_OCR``, mirroring the old
+    ``cycle_rates`` argument.
+    """
+    if session is None:
+        session = EstimationSession(graph, h=h, cycle_rates=cycle_rates)
+    wanted = [name for name in OPTIMISTIC_NAMES if name in estimators]
+    use_ocr = session.cycle_rates is not None
+    specs = [name + "+ocr" if use_ocr else name for name in wanted]
     pairs: dict[tuple[str, str], list[tuple[float, float]]] = defaultdict(list)
     for query in workload:
-        try:
-            ceg = build_ceg_o(query.pattern, markov, cycle_rates=cycle_rates)
-        except ReproError:
-            continue
-        for name, hop, agg in wanted:
+        for name, spec in zip(wanted, specs):
             try:
-                value = estimate_from_ceg(ceg, hop, agg)
+                value = session.estimate(query.pattern, spec)
             except ReproError:
                 continue
             pairs[(query.template, name)].append(

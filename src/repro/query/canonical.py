@@ -32,10 +32,17 @@ def canonical_key(pattern: QueryPattern) -> tuple:
     For patterns with at most :data:`_MAX_BRUTE_FORCE_VARS` variables the
     key is exact (minimum encoding over all variable orderings, pruned by
     a degree/label refinement).  Larger patterns fall back to a sorted
-    neighbourhood-signature encoding which is still renaming-invariant but
-    may conflate rare non-isomorphic patterns; catalogs never store
-    patterns that large.
+    neighbourhood-signature encoding: still renaming-invariant and never
+    conflating non-isomorphic patterns (the encoding reconstructs the
+    pattern exactly), though two renamings of a symmetric large pattern
+    may receive different keys (a missed cache share, never a false one).
+
+    The key is memoized on the (immutable) pattern, since the caching
+    layers recompute it for every lookup.
     """
+    cached = pattern._canonical_key
+    if cached is not None:
+        return cached
     variables = pattern.variables
     if len(variables) <= _MAX_BRUTE_FORCE_VARS:
         groups = _refinement_groups(pattern)
@@ -45,10 +52,13 @@ def canonical_key(pattern: QueryPattern) -> tuple:
             if best is None or encoded < best:
                 best = encoded
         assert best is not None
-        return best
-    signature = {var: _var_signature(pattern, var) for var in variables}
-    order = tuple(sorted(variables, key=lambda v: (signature[v], v)))
-    return _encode(pattern, order)
+        key = best
+    else:
+        signature = {var: _var_signature(pattern, var) for var in variables}
+        order = tuple(sorted(variables, key=lambda v: (signature[v], v)))
+        key = _encode(pattern, order)
+    pattern._canonical_key = key
+    return key
 
 
 def canonical_pattern(pattern: QueryPattern) -> QueryPattern:

@@ -61,7 +61,7 @@ class QueryPattern:
     the same atoms compare equal.
     """
 
-    __slots__ = ("_edges", "_vars", "_adjacency", "_hash")
+    __slots__ = ("_edges", "_vars", "_adjacency", "_hash", "_canonical_key")
 
     def __init__(self, edges: Iterable[QueryEdge | tuple[str, str, str]]):
         normalized: list[QueryEdge] = []
@@ -94,6 +94,11 @@ class QueryPattern:
             adjacency[var] = tuple(indexes)
         self._adjacency = adjacency
         self._hash = hash(frozenset(self._edges))
+        # Memo slot for repro.query.canonical.canonical_key: the exact
+        # canonical form is a brute-force minimum over variable orderings
+        # (worst case 8! for fully symmetric patterns), and the caching
+        # service keys every lookup by it — pay it once per pattern.
+        self._canonical_key: tuple | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -73,7 +73,6 @@ def cycles(pattern: QueryPattern) -> list[frozenset[int]]:
     self-loops (length-1) and parallel-edge cycles (length-2), then
     expands to all simple cycles via networkx for small patterns.
     """
-    graph = to_multigraph(pattern)
     result: set[frozenset[int]] = set()
     # Self-loops.
     for index, edge in enumerate(pattern.edges):

@@ -1,0 +1,22 @@
+"""Batched estimation service: canonical-shape caching over the estimators."""
+
+from repro.service.lru import CacheStats, LRUCache
+from repro.service.session import (
+    BatchItem,
+    BatchResult,
+    EstimationSession,
+    EstimatorSpec,
+    SessionEstimator,
+    SessionStats,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "BatchItem",
+    "BatchResult",
+    "EstimationSession",
+    "EstimatorSpec",
+    "SessionEstimator",
+    "SessionStats",
+]

@@ -1,0 +1,125 @@
+"""A small thread-safe LRU cache with hit/miss/eviction accounting.
+
+The estimation service keeps two of these (canonical shape → CEG
+skeleton, and (canonical shape, estimator config) → estimate).  Both are
+read from worker threads, so every operation takes the cache's lock; the
+values themselves are immutable once published (CEGs are built fully
+before insertion) which keeps the critical sections tiny.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["CacheStats", "LRUCache"]
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (NaN when unused)."""
+        if self.lookups == 0:
+            return float("nan")
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-friendly representation (used by the ``batch`` CLI)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": None if self.lookups == 0 else self.hit_rate,
+        }
+
+
+class LRUCache(Generic[V]):
+    """Bounded mapping with least-recently-used eviction and counters."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("LRU capacity must be >= 1")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> V | None:
+        """The cached value (refreshing its recency), or None on a miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def peek(self, key: Hashable) -> V | None:
+        """Like :meth:`get` but touching neither counters nor recency.
+
+        Used for the double-checked re-read after taking a build lock,
+        so one logical miss is not accounted twice.
+        """
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert (or refresh) a key, evicting the LRU entry at capacity."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            if len(self._data) >= self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+            self._data[key] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test that does not touch recency or counters."""
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                capacity=self.capacity,
+            )

@@ -10,7 +10,6 @@ from repro.baselines import (
 )
 from repro.engine import count_pattern
 from repro.errors import CountBudgetExceeded
-from repro.graph import LabeledDiGraph
 from repro.query import QueryPattern, parse_pattern, templates
 
 

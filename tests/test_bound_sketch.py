@@ -16,7 +16,7 @@ from repro.core.ceg_m import molp_min_path
 from repro.catalog.degrees import DegreeCatalog
 from repro.engine import count_pattern
 from repro.graph import generate_graph
-from repro.query import QueryPattern, templates
+from repro.query import templates
 
 
 class TestHashBucket:

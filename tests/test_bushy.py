@@ -1,10 +1,9 @@
 """Tests for bushy planning and the table-table join."""
 
-import numpy as np
 import pytest
 
 from repro.engine import count_pattern, start_table
-from repro.engine.join import BindingTable, join_tables
+from repro.engine.join import join_tables
 from repro.errors import PlanningError
 from repro.planner import (
     execute_bushy,

@@ -79,7 +79,6 @@ class TestCegOStructure:
     def test_early_cycle_closing_rule(self, small_random_graph):
         """With h=3 and a triangle inside the query, successors of any
         vertex that can close the triangle must all close it."""
-        from repro.query.shape import cycles
 
         labels = list(small_random_graph.labels[:4])
         query = QueryPattern([

@@ -16,7 +16,7 @@ from repro import (
     load_dataset,
 )
 from repro.baselines import Rdf3xDefaultEstimator, WanderJoinEstimator
-from repro.catalog import CycleClosingRates, DegreeCatalog
+from repro.catalog import CycleClosingRates
 from repro.core import (
     PStarOracle,
     all_nine_estimators,
@@ -145,7 +145,6 @@ class TestStatisticsSharing:
         assert markov.num_entries == entries_after_first
 
     def test_degree_catalog_shared_across_queries(self, graph, workload):
-        catalog = DegreeCatalog(graph, h=1)
         molp = MolpEstimator(graph, h=1)
         for query in workload[:3]:
             bound = molp.estimate(query.pattern)

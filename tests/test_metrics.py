@@ -7,7 +7,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.experiments import (
-    QErrorSummary,
     format_summaries,
     format_table,
     q_error,

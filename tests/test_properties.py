@@ -20,7 +20,7 @@ from hypothesis import strategies as st
 from repro.core import CEG, distinct_estimates, estimate_from_ceg, hop_statistics
 from repro.engine import count_pattern, extend_by_edge, start_table
 from repro.graph import LabeledDiGraph
-from repro.query import QueryPattern, templates
+from repro.query import templates
 
 
 @st.composite

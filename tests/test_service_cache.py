@@ -1,0 +1,289 @@
+"""Cache behavior of the estimation service.
+
+Covers the LRU itself (hit/miss/eviction accounting, recency refresh),
+the session's two-level cache (canonical-shape sharing across variable
+renamings), batch determinism under threading, and estimator-spec
+parsing.
+"""
+
+import math
+
+import pytest
+
+from repro.datasets.workloads import WorkloadQuery
+from repro.errors import EstimationError
+from repro.experiments import run_harness, run_harness_batched
+from repro.query import parse_pattern
+from repro.service import (
+    EstimationSession,
+    EstimatorSpec,
+    LRUCache,
+)
+
+
+class TestLRUCache:
+    def test_get_put_and_counters(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.evictions == 0
+        assert stats.size == 1 and stats.capacity == 4
+        assert stats.hit_rate == 0.5
+
+    def test_eviction_at_capacity_is_lru(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the least recently used
+        assert cache.get("a") is None
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.stats().evictions == 1
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "a" is now most recent
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_put_refreshes_existing_without_eviction(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.stats().evictions == 0
+        cache.put("c", 3)  # evicts "b" ("a" was refreshed by the put)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_unused_cache_hit_rate_is_nan(self):
+        assert math.isnan(LRUCache(capacity=1).stats().hit_rate)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+class TestEstimatorSpec:
+    def test_all_nine_names_round_trip(self):
+        for hop in ("max", "min", "all"):
+            for agg in ("max", "min", "avg"):
+                spec = EstimatorSpec(path_length=hop, aggregator=agg)
+                assert EstimatorSpec.from_name(spec.name) == spec
+
+    def test_molp_names(self):
+        assert EstimatorSpec.from_name("MOLP") == EstimatorSpec(kind="molp")
+        sketch = EstimatorSpec.from_name("MOLP-sketch4")
+        assert sketch.sketch_budget == 4 and sketch.name == "MOLP-sketch4"
+
+    def test_ocr_suffix(self):
+        spec = EstimatorSpec.from_name("max-hop-max+ocr")
+        assert spec.use_cycle_rates and spec.name == "max-hop-max+ocr"
+
+    @pytest.mark.parametrize(
+        "bad", ["bogus", "max-hop-bogus", "mid-hop-max", "MOLP-sketchX", ""]
+    )
+    def test_bad_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            EstimatorSpec.from_name(bad)
+
+    def test_bad_fields_raise(self):
+        with pytest.raises(ValueError):
+            EstimatorSpec(kind="bogus")
+        with pytest.raises(ValueError):
+            EstimatorSpec(path_length="bogus")
+        with pytest.raises(ValueError):
+            EstimatorSpec(kind="molp", sketch_budget=0)
+
+
+class TestSessionCaching:
+    def test_renamed_patterns_share_one_entry(self, small_random_graph):
+        """a1-A->a2-B->a3 and x-A->y-B->z hit the same cache entries."""
+        labels = sorted(small_random_graph.labels)[:2]
+        a, b = labels
+        session = EstimationSession(small_random_graph, h=2)
+        first = parse_pattern(f"a1 -[{a}]-> a2 -[{b}]-> a3")
+        second = parse_pattern(f"x -[{a}]-> y -[{b}]-> z")
+        value_first = session.estimate(first, "max-hop-max")
+        skeletons = session.stats().skeletons
+        assert skeletons.misses == 1 and skeletons.size == 1
+        value_second = session.estimate(second, "max-hop-max")
+        assert value_second == value_first
+        stats = session.stats()
+        # The renamed query was served from the estimate cache: no new
+        # skeleton, no extra skeleton lookup, one estimate hit.
+        assert stats.skeletons.size == 1
+        assert stats.skeletons.misses == 1
+        assert stats.estimates.hits == 1
+        assert stats.estimates.misses == 1
+
+    def test_hit_miss_counters_per_spec(self, small_random_graph):
+        labels = sorted(small_random_graph.labels)[:2]
+        a, b = labels
+        session = EstimationSession(small_random_graph, h=2)
+        query = parse_pattern(f"a -[{a}]-> b -[{b}]-> c")
+        session.estimate(query, "max-hop-max")
+        session.estimate(query, "min-hop-min")  # same skeleton, new estimate
+        session.estimate(query, "max-hop-max")  # pure estimate hit
+        stats = session.stats()
+        assert stats.skeletons.misses == 1
+        assert stats.skeletons.hits == 1
+        assert stats.estimates.misses == 2
+        assert stats.estimates.hits == 1
+
+    def test_estimate_cache_evicts_at_capacity(self, small_random_graph):
+        labels = sorted(small_random_graph.labels)
+        session = EstimationSession(
+            small_random_graph, h=2, estimate_capacity=2
+        )
+        queries = [
+            parse_pattern(f"a -[{label}]-> b") for label in labels[:3]
+        ]
+        for query in queries:
+            session.estimate(query)
+        stats = session.stats()
+        assert stats.estimates.evictions == 1
+        assert stats.estimates.size == 2
+        # The evicted (oldest) entry is recomputed on re-request.
+        session.estimate(queries[0])
+        assert session.stats().estimates.misses == 4
+
+    def test_clear_caches(self, small_random_graph):
+        label = sorted(small_random_graph.labels)[0]
+        session = EstimationSession(small_random_graph, h=2)
+        query = parse_pattern(f"a -[{label}]-> b")
+        session.estimate(query)
+        session.clear_caches()
+        assert session.stats().estimates.size == 0
+        assert session.stats().skeletons.size == 0
+        session.estimate(query)
+        assert session.stats().estimates.misses == 2
+
+    def test_ocr_spec_without_rates_raises(self, small_random_graph):
+        session = EstimationSession(small_random_graph, h=2)
+        label = sorted(small_random_graph.labels)[0]
+        with pytest.raises(ValueError):
+            session.estimate(parse_pattern(f"a -[{label}]-> b"),
+                             "max-hop-max+ocr")
+        with pytest.raises(ValueError):
+            session.ceg_for(parse_pattern(f"a -[{label}]-> b"),
+                            use_cycle_rates=True)
+
+
+class TestBatch:
+    def test_batch_ordering_is_deterministic(self, small_random_graph):
+        labels = sorted(small_random_graph.labels)
+        patterns = [
+            parse_pattern(f"a -[{x}]-> b -[{y}]-> c")
+            for x in labels[:3]
+            for y in labels[:3]
+        ]
+        specs = ("max-hop-max", "min-hop-min", "MOLP")
+        serial = EstimationSession(small_random_graph, h=2).estimate_batch(
+            patterns, specs=specs, max_workers=1
+        )
+        threaded = EstimationSession(small_random_graph, h=2).estimate_batch(
+            patterns, specs=specs, max_workers=4
+        )
+        assert serial.specs == threaded.specs == list(specs)
+        assert [i.index for i in serial.items] == [
+            i.index for i in threaded.items
+        ]
+        assert [i.estimator for i in serial.items] == [
+            i.estimator for i in threaded.items
+        ]
+        assert [i.estimate for i in serial.items] == [
+            i.estimate for i in threaded.items
+        ]
+        # Query-major layout: item(i, spec) addresses the right cell.
+        for index in range(len(patterns)):
+            for spec in specs:
+                cell = serial.item(index, spec)
+                assert cell.index == index and cell.estimator == spec
+
+    def test_batch_captures_per_query_failures(self, small_random_graph):
+        labels = sorted(small_random_graph.labels)[:2]
+        a, b = labels
+        disconnected = parse_pattern(f"a -[{a}]-> b, c -[{b}]-> d")
+        good = parse_pattern(f"a -[{a}]-> b")
+        session = EstimationSession(small_random_graph, h=2)
+        batch = session.estimate_batch([good, disconnected, good])
+        assert not batch.ok
+        assert batch.item(0, "max-hop-max").ok
+        assert batch.item(2, "max-hop-max").ok
+        failed = batch.item(1, "max-hop-max")
+        assert failed.estimate is None
+        assert "EstimationError" in failed.error
+        assert batch.estimates_for("max-hop-max")[1] is None
+        # The raising path is identical outside a batch.
+        with pytest.raises(EstimationError):
+            session.estimate(disconnected)
+
+    def test_duplicate_specs_rejected(self, small_random_graph):
+        session = EstimationSession(small_random_graph, h=2)
+        label = sorted(small_random_graph.labels)[0]
+        with pytest.raises(ValueError):
+            session.estimate_batch(
+                [parse_pattern(f"a -[{label}]-> b")],
+                specs=("max-hop-max", "max-hop-max"),
+            )
+
+    def test_misconfigured_spec_fails_fast_not_mid_batch(
+        self, small_random_graph
+    ):
+        """A '+ocr' spec on a rate-less session is rejected before fan-out."""
+        session = EstimationSession(small_random_graph, h=2)
+        label = sorted(small_random_graph.labels)[0]
+        with pytest.raises(ValueError, match="cycle rates"):
+            session.estimate_batch(
+                [parse_pattern(f"a -[{label}]-> b")],
+                specs=("max-hop-max", "max-hop-max+ocr"),
+            )
+
+
+class TestRunHarnessBatched:
+    def _workload(self, graph):
+        labels = sorted(graph.labels)[:2]
+        a, b = labels
+        return [
+            WorkloadQuery("q1", "t", parse_pattern(f"a -[{a}]-> b -[{b}]-> c"),
+                          5.0),
+            WorkloadQuery("bad", "t",
+                          parse_pattern(f"a -[{a}]-> b, c -[{b}]-> d"), 2.0),
+            WorkloadQuery("q2", "t", parse_pattern(f"x -[{a}]-> y -[{b}]-> z"),
+                          7.0),
+        ]
+
+    def test_matches_run_harness_semantics(self, small_random_graph):
+        workload = self._workload(small_random_graph)
+        specs = ("max-hop-max", "MOLP")
+        batched = run_harness_batched(
+            workload, EstimationSession(small_random_graph, h=2), specs
+        )
+        direct = run_harness(
+            workload,
+            EstimationSession(small_random_graph, h=2).estimators(specs),
+        )
+        assert batched.skipped_queries == direct.skipped_queries
+        assert batched.failures == direct.failures
+        assert batched.estimates == direct.estimates
+        assert set(batched.summaries()) == set(specs)
+
+    def test_drop_on_failure(self, small_random_graph):
+        workload = self._workload(small_random_graph)
+        session = EstimationSession(small_random_graph, h=2)
+        dropped = run_harness_batched(workload, session, ("max-hop-max",))
+        assert dropped.skipped_queries == ["bad"]
+        assert dropped.failures["max-hop-max"] == 1
+        truths = [pair[1] for pair in dropped.estimates["max-hop-max"]]
+        assert truths == [5.0, 7.0]
+        kept = run_harness_batched(
+            workload, session, ("max-hop-max",), drop_on_failure=False
+        )
+        assert kept.skipped_queries == []
+        assert len(kept.estimates["max-hop-max"]) == 2

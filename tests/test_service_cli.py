@@ -1,0 +1,147 @@
+"""The ``repro batch`` CLI: exit codes, JSON schema, error paths.
+
+Exit-code contract: 0 — every estimate succeeded; 1 — at least one query
+failed to estimate (the error is reported per query, via the
+:mod:`repro.errors` hierarchy); 2 — the request itself is invalid
+(malformed query text, unknown estimator, no queries).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = ["--dataset", "hetionet", "--scale", "0.02"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def run_batch_json(capsys, *argv):
+    code, out, err = run_cli(capsys, "batch", *FAST, *argv)
+    report = json.loads(out) if out else None
+    return code, report, err
+
+
+class TestHappyPath:
+    def test_single_query_single_estimator(self, capsys):
+        code, report, _ = run_batch_json(
+            capsys, "-q", "a -[L0]-> b -[L1]-> c"
+        )
+        assert code == 0
+        assert report["dataset"] == "hetionet"
+        assert report["estimators"] == ["max-hop-max"]
+        assert report["num_queries"] == 1
+        [result] = report["results"]
+        assert result["index"] == 0
+        assert result["query"] == "a -[L0]-> b -[L1]-> c"
+        assert isinstance(result["estimates"]["max-hop-max"], float)
+        assert result["errors"] == {}
+        assert set(report["cache"]) == {"skeletons", "estimates"}
+        for counters in report["cache"].values():
+            assert {"hits", "misses", "evictions", "size", "capacity",
+                    "hit_rate"} <= set(counters)
+        assert report["elapsed_seconds"] > 0
+
+    def test_multiple_estimators_and_all9(self, capsys):
+        code, report, _ = run_batch_json(
+            capsys, "-q", "a -[L0]-> b", "-e", "all9", "-e", "MOLP"
+        )
+        assert code == 0
+        assert len(report["estimators"]) == 10  # nine heuristics + MOLP
+        assert "MOLP" in report["estimators"]
+        [result] = report["results"]
+        assert set(result["estimates"]) == set(report["estimators"])
+
+    def test_repeat_exercises_cache(self, capsys):
+        code, report, _ = run_batch_json(
+            capsys, "-q", "a -[L0]-> b -[L1]-> c", "--repeat", "3"
+        )
+        assert code == 0
+        assert report["repeat"] == 3
+        assert report["cache"]["estimates"]["hits"] >= 2
+
+    def test_queries_from_file(self, capsys, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# two chains\n"
+            "a -[L0]-> b -[L1]-> c\n"
+            "\n"
+            "x -[L0]-> y -[L1]-> z\n",
+            encoding="utf-8",
+        )
+        code, report, _ = run_batch_json(capsys, "--file", str(queries))
+        assert code == 0
+        assert report["num_queries"] == 2
+        # The second query is a renaming of the first: same estimate,
+        # shared cache entry.
+        first, second = report["results"]
+        assert first["estimates"] == second["estimates"]
+        assert report["cache"]["skeletons"]["size"] == 1
+
+
+class TestEstimationFailures:
+    def test_disconnected_query_reports_error_and_exit_1(self, capsys):
+        code, report, _ = run_batch_json(
+            capsys,
+            "-q", "a -[L0]-> b, c -[L1]-> d",
+            "-q", "a -[L0]-> b",
+        )
+        assert code == 1
+        bad, good = report["results"]
+        assert bad["estimates"] == {}
+        assert "EstimationError" in bad["errors"]["max-hop-max"]
+        assert good["errors"] == {}
+        assert isinstance(good["estimates"]["max-hop-max"], float)
+
+
+class TestInvalidRequests:
+    def test_malformed_query_exits_2(self, capsys):
+        code, out, err = run_cli(capsys, "batch", *FAST, "-q", "a -[L0")
+        assert code == 2
+        assert out == ""
+        assert "malformed query" in err
+
+    def test_unknown_estimator_exits_2(self, capsys):
+        code, out, err = run_cli(
+            capsys, "batch", *FAST, "-q", "a -[L0]-> b", "-e", "bogus"
+        )
+        assert code == 2
+        assert "bogus" in err
+
+    def test_no_queries_exits_2(self, capsys):
+        code, out, err = run_cli(capsys, "batch", *FAST)
+        assert code == 2
+        assert "no queries" in err
+
+    def test_missing_query_file_exits_2(self, capsys, tmp_path):
+        code, out, err = run_cli(
+            capsys, "batch", *FAST, "--file", str(tmp_path / "absent.txt")
+        )
+        assert code == 2
+        assert out == ""
+        assert "cannot read query file" in err
+
+    def test_ocr_spec_without_cycle_rates_exits_2(self, capsys):
+        code, out, err = run_cli(
+            capsys, "batch", *FAST, "-q", "a -[L0]-> b",
+            "-e", "max-hop-max+ocr",
+        )
+        assert code == 2
+        assert "--cycle-rates" in err
+
+    def test_unknown_dataset_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", "--dataset", "nope", "-q", "a -[L0]-> b"])
+        assert excinfo.value.code == 2
+
+
+class TestLegacyCli:
+    def test_list_still_works(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        assert "table2" in out and "fig9" in out

@@ -1,0 +1,119 @@
+"""Property: caching is bitwise-invisible.
+
+For randomized workloads over :mod:`repro.graph.generators`, every
+estimate an :class:`EstimationSession` batch produces must be *exactly*
+(``==`` on floats, no tolerance) the value a fresh single-query
+:class:`OptimisticEstimator` / :class:`MolpEstimator` computes for the
+same pattern — including renamed duplicates, which the session serves
+from one shared cache entry while the fresh estimators recompute from
+scratch.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog.markov import MarkovTable
+from repro.core.estimators import MolpEstimator, OptimisticEstimator
+from repro.datasets.workloads import acyclic_workload, cyclic_workload
+from repro.graph.generators import generate_graph
+from repro.service import EstimationSession
+from repro.service.session import OPTIMISTIC_NAMES, EstimatorSpec
+
+_GRAPHS = {}
+_POOLS = {}
+
+
+def _graph(seed: int):
+    if seed not in _GRAPHS:
+        _GRAPHS[seed] = generate_graph(
+            num_vertices=80,
+            num_edges=420,
+            num_labels=5,
+            seed=seed,
+            closure=0.3,
+        )
+    return _GRAPHS[seed]
+
+
+def _pattern_pool(seed: int):
+    """Template instances sampled from the graph (non-empty by design)."""
+    if seed not in _POOLS:
+        graph = _graph(seed)
+        base = acyclic_workload(graph, per_template=1, seed=seed, sizes=(6,))
+        base += cyclic_workload(graph, per_template=1, seed=seed)
+        _POOLS[seed] = [query.pattern for query in base]
+    return _POOLS[seed]
+
+
+def _renamed(pattern, rng: random.Random):
+    names = list(pattern.variables)
+    fresh = [f"w{rng.randrange(10_000)}_{i}" for i in range(len(names))]
+    return pattern.rename(dict(zip(names, fresh)))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    graph_seed=st.sampled_from([3, 17]),
+    rename_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    subset=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                    max_size=6),
+    workers=st.sampled_from([1, 4]),
+)
+def test_batch_equals_fresh_estimators(graph_seed, rename_seed, subset,
+                                       workers):
+    graph = _graph(graph_seed)
+    pool = _pattern_pool(graph_seed)
+    rng = random.Random(rename_seed)
+    # A workload with repeated shapes: chosen patterns plus renamed copies.
+    patterns = []
+    for pick in subset:
+        pattern = pool[pick % len(pool)]
+        patterns.append(pattern)
+        patterns.append(_renamed(pattern, rng))
+    specs = [EstimatorSpec.from_name(name) for name in OPTIMISTIC_NAMES]
+    specs.append(EstimatorSpec.from_name("MOLP"))
+
+    session = EstimationSession(graph, h=2, molp_h=2)
+    batch = session.estimate_batch(patterns, specs=specs, max_workers=workers)
+    assert batch.ok
+
+    markov = MarkovTable(graph, h=2)
+    for index, pattern in enumerate(patterns):
+        for spec in specs:
+            served = batch.item(index, spec.name).estimate
+            if spec.kind == "molp":
+                fresh = MolpEstimator(graph, h=2).estimate(pattern)
+            else:
+                fresh = OptimisticEstimator(
+                    markov, spec.path_length, spec.aggregator
+                ).estimate(pattern)
+            assert served == fresh, (
+                f"cached {spec.name} estimate for query {index} drifted: "
+                f"{served!r} != fresh {fresh!r}"
+            )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    rename_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    pick=st.integers(min_value=0, max_value=10**6),
+)
+def test_renamed_duplicates_hit_cache_and_match(rename_seed, pick):
+    """The cached entry a renamed duplicate lands on serves its exact value."""
+    graph = _graph(3)
+    pool = _pattern_pool(3)
+    pattern = pool[pick % len(pool)]
+    rng = random.Random(rename_seed)
+    twin = _renamed(pattern, rng)
+
+    session = EstimationSession(graph, h=2)
+    first = session.estimate(pattern, "all-hops-avg")
+    before = session.stats().estimates.hits
+    second = session.estimate(twin, "all-hops-avg")
+    assert session.stats().estimates.hits == before + 1
+    assert second == first
+    markov = MarkovTable(graph, h=2)
+    fresh = OptimisticEstimator(markov, "all", "avg").estimate(twin)
+    assert second == fresh

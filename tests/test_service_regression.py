@@ -1,0 +1,102 @@
+"""Golden regression: estimates on the running example are frozen.
+
+Snapshots all nine §4.2 estimators (at Markov sizes h=2 and h=3) plus
+the MOLP bound (at join-statistics sizes h=1 and h=2) for the paper's
+running-example fork query Q5f on the Figure-2-shaped graph.  The
+comparisons are exact (``==`` on floats): every operation on this path
+is deterministic IEEE arithmetic, so any deviation means a refactor
+changed an estimate — which must be a conscious decision, not silent
+drift.  If a change is intentional, regenerate the constants with the
+estimators themselves and say so in the commit.
+
+The same values are asserted through the cached service path, pinning
+the cached and fresh pipelines to each other *and* to history.
+"""
+
+import pytest
+
+from repro.catalog.markov import MarkovTable
+from repro.core.estimators import MolpEstimator, all_nine_estimators
+from repro.graph.digraph import LabeledDiGraph
+from repro.query import templates
+from repro.service import EstimationSession
+
+GOLDEN_NINE = {
+    2: {
+        "max-hop-max": 36.0,
+        "max-hop-min": 32.0,
+        "max-hop-avg": 34.22222222222222,
+        "min-hop-max": 36.0,
+        "min-hop-min": 32.0,
+        "min-hop-avg": 34.22222222222222,
+        "all-hops-max": 36.0,
+        "all-hops-min": 32.0,
+        "all-hops-avg": 34.22222222222222,
+    },
+    3: {
+        "max-hop-max": 36.0,
+        "max-hop-min": 32.0,
+        "max-hop-avg": 33.407407407407405,
+        "min-hop-max": 36.0,
+        "min-hop-min": 32.0,
+        "min-hop-avg": 33.333333333333336,
+        "all-hops-max": 36.0,
+        "all-hops-min": 32.0,
+        "all-hops-avg": 33.4,
+    },
+}
+
+GOLDEN_MOLP = {1: 48.0, 2: 32.0}
+
+
+@pytest.fixture(scope="module")
+def running_graph() -> LabeledDiGraph:
+    """A graph shaped like Figure 2: A->B chains into a C/D/E fork."""
+    triples = []
+    for u, v in [(0, 3), (1, 3), (2, 4), (0, 4)]:
+        triples.append((u, v, "A"))
+    for u, v in [(3, 5), (4, 5), (3, 6), (4, 6)]:
+        triples.append((u, v, "B"))
+    for u, v in [(5, 7), (5, 8), (6, 7)]:
+        triples.append((u, v, "C"))
+    for u, v in [(5, 9), (6, 9), (6, 10)]:
+        triples.append((u, v, "D"))
+    for u, v in [(5, 11), (6, 11), (5, 12), (6, 12)]:
+        triples.append((u, v, "E"))
+    return LabeledDiGraph.from_triples(triples, num_vertices=13)
+
+
+@pytest.fixture(scope="module")
+def q5f():
+    return templates.fork(2, 3).with_labels(["A", "B", "C", "D", "E"])
+
+
+@pytest.mark.parametrize("h", sorted(GOLDEN_NINE))
+def test_all_nine_estimators_frozen(running_graph, q5f, h):
+    markov = MarkovTable(running_graph, h=h)
+    estimators = all_nine_estimators(markov)
+    assert set(estimators) == set(GOLDEN_NINE[h])
+    for name, expected in GOLDEN_NINE[h].items():
+        assert estimators[name].estimate(q5f) == expected, name
+
+
+@pytest.mark.parametrize("h", sorted(GOLDEN_MOLP))
+def test_molp_bound_frozen(running_graph, q5f, h):
+    assert MolpEstimator(running_graph, h=h).estimate(q5f) == GOLDEN_MOLP[h]
+
+
+@pytest.mark.parametrize("h", sorted(GOLDEN_NINE))
+def test_service_batch_matches_golden(running_graph, q5f, h):
+    """The cached batch path reproduces the frozen values exactly."""
+    session = EstimationSession(running_graph, h=h, molp_h=2)
+    specs = sorted(GOLDEN_NINE[h]) + ["MOLP"]
+    batch = session.estimate_batch([q5f], specs=specs)
+    assert batch.ok
+    for name in sorted(GOLDEN_NINE[h]):
+        assert batch.item(0, name).estimate == GOLDEN_NINE[h][name], name
+    assert batch.item(0, "MOLP").estimate == GOLDEN_MOLP[2]
+    # Serving the same batch again is pure cache hits with equal values.
+    again = session.estimate_batch([q5f], specs=specs)
+    assert [i.estimate for i in again.items] == [
+        i.estimate for i in batch.items
+    ]

@@ -29,7 +29,8 @@ from repro.core import (
 )
 from repro.engine import count_pattern
 from repro.graph import LabeledDiGraph, generate_graph
-from repro.query import QueryPattern, parse_pattern, templates
+from repro.query import parse_pattern, templates
+from repro.query.shape import is_acyclic
 
 
 @st.composite
@@ -109,10 +110,37 @@ class TestObservation1:
 class TestMolpImprovesAgm:
     @given(random_instance())
     @settings(max_examples=25, deadline=None)
-    def test_molp_at_most_agm(self, case):
+    def test_molp_at_most_agm_on_acyclic(self, case):
+        """MOLP <= AGM on acyclic queries.
+
+        On a forest the cover LP's incidence matrix is totally
+        unimodular, so AGM's optimum is an integral edge cover, and any
+        integral cover is realisable as a CEG_M path (each relation
+        extends by deg(∅, attrs) = |R| or better).  On cyclic queries
+        AGM may use fractional covers no path realises — e.g. x = 1/2
+        on each atom of a single-label triangle gives |R|^{3/2}, and the
+        degree-constraint MOLP bound can legitimately exceed it (a
+        hypothesis-found counterexample: 30-vertex graph, triangle
+        query, MOLP path = LP = 100 > AGM = 89.4, truth = 8) — so the
+        domination claim is restricted to acyclic instances.
+        """
         graph, query = case
+        if not is_acyclic(query):
+            return
         catalog = DegreeCatalog(graph, h=1)
         assert molp_bound(query, catalog) <= agm_bound(query, graph) * (1 + 1e-9)
+
+    def test_cyclic_gap_example_stays_safe(self):
+        """The triangle counterexample still upper-bounds the truth."""
+        graph = generate_graph(
+            num_vertices=30, num_edges=68, num_labels=3, seed=16, closure=0.3
+        )
+        query = templates.triangle().with_labels(["L0", "L0", "L0"])
+        catalog = DegreeCatalog(graph, h=1)
+        molp = molp_bound(query, catalog)
+        assert molp > agm_bound(query, graph)  # the gap is real
+        assert molp == pytest.approx(molp_lp_bound(query, catalog))  # Thm 5.1
+        assert molp >= count_pattern(graph, query)  # Observation 1
 
 
 class TestAppendixB:
