@@ -36,6 +36,7 @@ from repro.engine import count_pattern
 from repro.graph import LabeledDiGraph, generate_graph
 from repro.query import QueryEdge, QueryPattern, parse_pattern
 from repro.service import BatchResult, EstimationSession, EstimatorSpec
+from repro.stats import StatisticsStore, StatsBuildConfig, build_statistics
 
 __version__ = "1.0.0"
 
@@ -70,5 +71,8 @@ __all__ = [
     "EstimationSession",
     "EstimatorSpec",
     "BatchResult",
+    "StatisticsStore",
+    "StatsBuildConfig",
+    "build_statistics",
     "__version__",
 ]

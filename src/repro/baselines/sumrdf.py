@@ -21,16 +21,27 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.errors import CountBudgetExceeded, PatternError
+from repro.errors import CountBudgetExceeded, PatternError, check_format_version
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.pattern import QueryPattern
 from repro.query.shape import spanning_tree_and_closures
 
-__all__ = ["SumRdfEstimator"]
+__all__ = ["SumRdfEstimator", "SUMRDF_FORMAT_VERSION"]
+
+SUMRDF_FORMAT_VERSION = 1
 
 
 class SumRdfEstimator:
-    """Summary-graph estimator with expected-value semantics."""
+    """Summary-graph estimator with expected-value semantics.
+
+    Estimation reads only the bucket sizes and per-label probability
+    matrices, so an estimator rebuilt from an artifact
+    (:meth:`from_artifact`) serves without the graph.  Persisting the
+    summary additionally *stabilises* it: bucket assignment hashes label
+    signatures with Python's per-process ``hash``, so two processes
+    building from the same graph get different (equally valid) summaries
+    — a saved artifact is the only way to serve the same one twice.
+    """
 
     def __init__(self, graph: LabeledDiGraph, num_buckets: int = 64, seed: int = 0):
         if num_buckets < 1:
@@ -72,6 +83,49 @@ class SumRdfEstimator:
             mixed = (signature.get(vertex, 0) * 2654435761 + seed) & 0xFFFFFFFF
             buckets[vertex] = mixed % self.num_buckets
         return buckets
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_artifact(self) -> dict:
+        """Array-valued snapshot of the summary (NPZ-friendly).
+
+        Values are numpy arrays plus scalars; :class:`repro.stats`
+        writes them as one ``.npz`` member set.
+        """
+        labels = sorted(self._matrices)
+        if labels:
+            matrices = np.stack([self._matrices[label] for label in labels])
+        else:
+            matrices = np.zeros((0, self.num_buckets, self.num_buckets))
+        return {
+            "format_version": SUMRDF_FORMAT_VERSION,
+            "kind": "sumrdf",
+            "num_buckets": self.num_buckets,
+            "sizes": self._sizes,
+            "labels": labels,
+            "matrices": matrices,
+        }
+
+    @classmethod
+    def from_artifact(cls, payload: dict) -> "SumRdfEstimator":
+        """A graph-free estimator serving the artifact's summary."""
+        payload = dict(payload)
+        if "format_version" in payload:
+            # NPZ members come back as 0-d arrays; normalise for the check.
+            payload["format_version"] = int(payload["format_version"])
+        check_format_version(payload, SUMRDF_FORMAT_VERSION, "SumRDF summary")
+        estimator = cls.__new__(cls)
+        estimator.graph = None
+        estimator.num_buckets = int(payload["num_buckets"])
+        estimator._bucket_of = None
+        estimator._sizes = np.asarray(payload["sizes"], dtype=np.float64)
+        labels = [str(label) for label in payload["labels"]]
+        matrices = np.asarray(payload["matrices"], dtype=np.float64)
+        estimator._matrices = {
+            label: matrices[index] for index, label in enumerate(labels)
+        }
+        return estimator
 
     def _matrix(self, label: str) -> np.ndarray:
         matrix = self._matrices.get(label)

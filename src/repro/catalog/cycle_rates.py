@@ -13,25 +13,41 @@ budget times a constant number of direction patterns.
 
 from __future__ import annotations
 
+from repro.errors import MissingStatisticError, check_format_version
+
 from repro.engine.sampler import PatternSampler
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.pattern import QueryPattern
 
-__all__ = ["CycleClosingRates"]
+__all__ = ["CycleClosingRates", "CYCLE_RATES_FORMAT_VERSION"]
+
+CYCLE_RATES_FORMAT_VERSION = 1
 
 
 class CycleClosingRates:
-    """Sampled ``P(prev * next | closing)`` statistics."""
+    """Sampled ``P(prev * next | closing)`` statistics.
+
+    ``graph`` may be None for a table loaded from an artifact: stored
+    rates (including a stored None, meaning sampling completed no walks
+    — the CEG builder then falls back to the ``CEG_O`` weight, exactly
+    as graph-backed serving would) are served as usual, while a spec
+    absent from the artifact raises
+    :class:`~repro.errors.MissingStatisticError` rather than silently
+    estimating with different weights than the graph-backed path.
+    """
 
     def __init__(
         self,
-        graph: LabeledDiGraph,
+        graph: LabeledDiGraph | None,
         seed: int = 0,
         samples: int = 1000,
     ):
         self.graph = graph
+        self.seed = seed
         self.samples = samples
-        self._sampler = PatternSampler(graph, seed=seed)
+        self._sampler = (
+            PatternSampler(graph, seed=seed) if graph is not None else None
+        )
         self._cache: dict[tuple, float | None] = {}
 
     def rate(
@@ -51,6 +67,17 @@ class CycleClosingRates:
         cached_key = spec
         if cached_key in self._cache:
             return self._cache[cached_key]
+        if self._sampler is None:
+            # Graph-free table: a *stored* None (sampling completed no
+            # walks at build time) is served above and keeps the same
+            # CEG_O-weight fallback the graph-backed path uses — but an
+            # unstored spec must fail loudly, or the served estimate
+            # would silently diverge from the graph-backed one.
+            raise MissingStatisticError(
+                "statistics artifact does not cover the cycle-closing "
+                f"rate for labels ({spec[0]!r}, {spec[1]!r}, {spec[2]!r}); "
+                "rebuild with a workload containing this cyclic shape"
+            )
         first_label, last_label, closing_label, directions, closing_forward = spec
         closed, completed = self._sampler.random_walk_closure(
             first_label=first_label,
@@ -75,6 +102,56 @@ class CycleClosingRates:
     def num_entries(self) -> int:
         """Number of cached closing-rate statistics."""
         return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_artifact(self) -> dict:
+        """JSON-serialisable snapshot of the sampled rates."""
+        return {
+            "format_version": CYCLE_RATES_FORMAT_VERSION,
+            "kind": "cycle_rates",
+            "seed": self.seed,
+            "samples": self.samples,
+            "entries": [
+                {
+                    "first": first,
+                    "last": last,
+                    "closing": closing,
+                    "directions": list(directions),
+                    "closing_forward": closing_forward,
+                    "rate": rate,
+                }
+                for (
+                    first, last, closing, directions, closing_forward
+                ), rate in sorted(self._cache.items())
+            ],
+        }
+
+    @classmethod
+    def from_artifact(
+        cls, payload: dict, graph: LabeledDiGraph | None = None
+    ) -> "CycleClosingRates":
+        """Rebuild a rate table from :meth:`to_artifact` output."""
+        check_format_version(
+            payload, CYCLE_RATES_FORMAT_VERSION, "cycle-closing rates"
+        )
+        table = cls(
+            graph,
+            seed=int(payload.get("seed", 0)),
+            samples=int(payload.get("samples", 1000)),
+        )
+        for entry in payload["entries"]:
+            key = (
+                str(entry["first"]),
+                str(entry["last"]),
+                str(entry["closing"]),
+                tuple(bool(d) for d in entry["directions"]),
+                bool(entry["closing_forward"]),
+            )
+            rate = entry["rate"]
+            table._cache[key] = None if rate is None else float(rate)
+        return table
 
 
 def _walk_spec(

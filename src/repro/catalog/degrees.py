@@ -22,13 +22,39 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.join import extend_by_edge, start_table
-from repro.errors import MissingStatisticError
+from repro.errors import MissingStatisticError, check_format_version
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.canonical import canonical_key
 from repro.query.pattern import QueryPattern
 from repro.query.shape import spanning_tree_and_closures
 
-__all__ = ["StatRelation", "DegreeCatalog", "group_max_distinct"]
+__all__ = [
+    "StatRelation",
+    "DegreeCatalog",
+    "group_max_distinct",
+    "all_degree_pairs",
+    "materialise_table",
+    "DEGREES_FORMAT_VERSION",
+]
+
+DEGREES_FORMAT_VERSION = 1
+
+
+def materialise_table(graph, pattern: QueryPattern, max_rows: int | None):
+    """The full match table of a pattern (spanning tree, then closures).
+
+    The one join-order recipe shared by the lazy :class:`StatRelation`
+    and the offline bulk builder — both planes must produce the same
+    rows or bit-identity between them breaks.
+    """
+    tree, closures = spanning_tree_and_closures(pattern)
+    order = tree + closures
+    table = start_table(graph, pattern.edges[order[0]])
+    for index in order[1:]:
+        table = extend_by_edge(
+            graph, table, pattern.edges[index], max_rows=max_rows
+        )
+    return table
 
 
 def _encode_columns(rows: np.ndarray, num_vertices: int) -> np.ndarray:
@@ -70,8 +96,62 @@ def group_max_distinct(
     return float(counts.max())
 
 
+def all_degree_pairs(
+    rows: np.ndarray,
+    columns: tuple[str, ...],
+    num_vertices: int,
+) -> dict[tuple[frozenset[str], frozenset[str]], float]:
+    """Every ``deg(X, Y)`` with ``X ⊆ Y ⊆ columns`` from one match table.
+
+    Vectorised bulk extraction for the offline statistics builder: the
+    distinct-``Y`` reduction is computed once per ``Y`` and shared by all
+    ``X ⊆ Y`` (instead of once per pair as the lazy
+    :meth:`StatRelation.deg` path does).  Values are exact tuple counts,
+    so they are bit-identical to the lazily computed ones.
+    """
+    col_of = {var: i for i, var in enumerate(columns)}
+    names = tuple(sorted(columns))
+    n = len(names)
+    result: dict[tuple[frozenset[str], frozenset[str]], float] = {}
+    for y_mask in range(1 << n):
+        y_names = sorted(names[i] for i in range(n) if y_mask >> i & 1)
+        y_set = frozenset(y_names)
+        if rows.shape[0] == 0:
+            for x_set in _masked_subsets(y_names):
+                result[(x_set, y_set)] = 0.0
+            continue
+        y_keys = _encode_columns(
+            rows[:, [col_of[v] for v in y_names]], num_vertices
+        )
+        y_unique_idx = np.unique(y_keys, return_index=True)[1]
+        distinct_rows = rows[y_unique_idx]
+        for x_set in _masked_subsets(y_names):
+            if not x_set:
+                result[(x_set, y_set)] = float(len(y_unique_idx))
+                continue
+            x_keys = _encode_columns(
+                distinct_rows[:, [col_of[v] for v in sorted(x_set)]],
+                num_vertices,
+            )
+            _, counts = np.unique(x_keys, return_counts=True)
+            result[(x_set, y_set)] = float(counts.max())
+    return result
+
+
+def _masked_subsets(names: list[str]):
+    for mask in range(1 << len(names)):
+        yield frozenset(names[i] for i in range(len(names)) if mask >> i & 1)
+
+
 class StatRelation:
-    """A query subpattern viewed as a relation with degree statistics."""
+    """A query subpattern viewed as a relation with degree statistics.
+
+    Two modes back the same interface: a graph-backed relation
+    materialises its match table once and answers ``deg`` lazily; a
+    *stored* relation (:meth:`from_artifact`) carries only precomputed
+    degrees and its cardinality — no rows, no graph — and raises
+    :class:`MissingStatisticError` for pairs the artifact lacks.
+    """
 
     def __init__(
         self,
@@ -84,24 +164,21 @@ class StatRelation:
         self._num_vertices = graph.num_vertices
         self._degrees: dict[tuple[frozenset[str], frozenset[str]], float] = {}
         self._columns: tuple[str, ...]
-        self._rows: np.ndarray
+        self._rows: np.ndarray | None
+        self._cardinality: float
+        self._empty = False
         self._materialise(graph, max_rows)
 
     def _materialise(self, graph: LabeledDiGraph, max_rows: int | None) -> None:
-        tree, closures = spanning_tree_and_closures(self.pattern)
-        order = tree + closures
-        table = start_table(graph, self.pattern.edges[order[0]])
-        for index in order[1:]:
-            table = extend_by_edge(
-                graph, table, self.pattern.edges[index], max_rows=max_rows
-            )
+        table = materialise_table(graph, self.pattern, max_rows)
         self._columns = table.variables
         self._rows = table.rows
+        self._cardinality = float(table.rows.shape[0])
 
     @property
     def cardinality(self) -> float:
         """Number of tuples (matches) in the relation."""
-        return float(self._rows.shape[0])
+        return self._cardinality
 
     def deg(self, x: frozenset[str], y: frozenset[str]) -> float:
         """``deg(X, Y)`` with ``X ⊆ Y ⊆ attrs`` (set-projection semantics)."""
@@ -113,6 +190,15 @@ class StatRelation:
         key = (x, y)
         cached = self._degrees.get(key)
         if cached is None:
+            if self._rows is None:
+                if self._empty:
+                    # A known-empty relation: every degree is 0, exactly
+                    # what group_max_distinct returns on zero rows.
+                    return 0.0
+                raise MissingStatisticError(
+                    f"stored relation for {self.pattern!r} lacks "
+                    f"deg(X={set(x)}, Y={set(y)})"
+                )
             col_of = {var: i for i, var in enumerate(self._columns)}
             cached = group_max_distinct(
                 self._rows,
@@ -122,6 +208,94 @@ class StatRelation:
             )
             self._degrees[key] = cached
         return cached
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_artifact(self) -> dict:
+        """JSON-serialisable snapshot: pattern, cardinality, all degrees.
+
+        Graph-backed relations first complete their degree set (every
+        ``X ⊆ Y ⊆ attrs`` pair — at most ``3^|attrs|`` values) through
+        the vectorised bulk path, so the artifact can answer everything
+        the lazy relation could; stored relations dump what they have.
+        """
+        if self._rows is not None:
+            self._degrees = all_degree_pairs(
+                self._rows, self._columns, self._num_vertices
+            )
+        return {
+            "pattern": [list(edge) for edge in (
+                (e.src, e.dst, e.label) for e in self.pattern.edges
+            )],
+            "cardinality": self._cardinality,
+            "degrees": [
+                [sorted(x), sorted(y), value]
+                for (x, y), value in sorted(
+                    self._degrees.items(),
+                    key=lambda item: (sorted(item[0][1]), sorted(item[0][0])),
+                )
+            ],
+        }
+
+    @classmethod
+    def from_artifact(cls, payload: dict) -> "StatRelation":
+        """A rows-free relation serving the artifact's degrees only."""
+        pattern = QueryPattern(
+            (str(src), str(dst), str(label))
+            for src, dst, label in payload["pattern"]
+        )
+        return cls._stored(
+            pattern,
+            cardinality=float(payload["cardinality"]),
+            degrees={
+                (frozenset(x), frozenset(y)): float(value)
+                for x, y, value in payload["degrees"]
+            },
+        )
+
+    @classmethod
+    def _stored(
+        cls,
+        pattern: QueryPattern,
+        cardinality: float,
+        degrees: dict[tuple[frozenset[str], frozenset[str]], float],
+        num_vertices: int = 0,
+        columns: tuple[str, ...] | None = None,
+    ) -> "StatRelation":
+        """The one constructor for rows-free relations (no graph, no table)."""
+        relation = cls.__new__(cls)
+        relation.pattern = pattern
+        relation.attributes = frozenset(pattern.variables)
+        relation._num_vertices = num_vertices
+        relation._columns = columns if columns is not None else pattern.variables
+        relation._rows = None
+        relation._cardinality = float(cardinality)
+        relation._empty = cardinality == 0.0
+        relation._degrees = degrees
+        return relation
+
+    @classmethod
+    def from_table(
+        cls, pattern: QueryPattern, table, num_vertices: int
+    ) -> "StatRelation":
+        """A rows-free relation with every degree pair bulk-extracted.
+
+        Used by the offline builder: the match table is consumed for its
+        degrees and row count, not retained.
+        """
+        return cls._stored(
+            pattern,
+            cardinality=float(table.rows.shape[0]),
+            degrees=all_degree_pairs(table.rows, table.variables, num_vertices),
+            num_vertices=num_vertices,
+            columns=table.variables,
+        )
+
+    @classmethod
+    def empty(cls, pattern: QueryPattern) -> "StatRelation":
+        """A rows-free relation known to have no matches (all degrees 0)."""
+        return cls._stored(pattern, cardinality=0.0, degrees={})
 
 
 class DegreeCatalog:
@@ -136,15 +310,17 @@ class DegreeCatalog:
 
     def __init__(
         self,
-        graph: LabeledDiGraph,
+        graph: LabeledDiGraph | None,
         h: int = 1,
         max_rows: int | None = 5_000_000,
+        complete: bool = False,
     ):
         if h < 1:
             raise ValueError("degree catalog needs h >= 1")
         self.graph = graph
         self.h = h
         self.max_rows = max_rows
+        self.complete = complete
         self._cache: dict[tuple, StatRelation] = {}
 
     def relation_for(self, pattern: QueryPattern) -> StatRelation:
@@ -156,6 +332,18 @@ class DegreeCatalog:
         key = canonical_key(pattern)
         cached = self._cache.get(key)
         if cached is None:
+            if self.graph is None:
+                if self.complete:
+                    # Bulk enumeration stored every non-empty pattern,
+                    # so a miss can only be an empty relation (exactly
+                    # what a graph-backed catalog would materialise).
+                    cached = StatRelation.empty(pattern)
+                    self._cache[key] = cached
+                    return cached
+                raise MissingStatisticError(
+                    f"statistics artifact does not cover pattern {pattern!r} "
+                    "(graph-free degree catalog)"
+                )
             cached = StatRelation(self.graph, pattern, self.max_rows)
             self._cache[key] = cached
             return cached
@@ -174,15 +362,31 @@ class DegreeCatalog:
     def _renamed_view(
         self, relation: StatRelation, pattern: QueryPattern
     ) -> StatRelation:
-        """A StatRelation for ``pattern`` sharing ``relation``'s table."""
+        """A StatRelation for ``pattern`` sharing ``relation``'s table.
+
+        For rows-free stored relations the precomputed degrees are
+        translated through the isomorphism instead (degree values are
+        renaming-invariant, so the translated entries are exact).
+        """
         mapping = _isomorphism(relation.pattern, pattern)
         view = StatRelation.__new__(StatRelation)
         view.pattern = pattern
         view.attributes = frozenset(pattern.variables)
         view._num_vertices = relation._num_vertices
-        view._degrees = {}
         view._columns = tuple(mapping[v] for v in relation._columns)
         view._rows = relation._rows
+        view._cardinality = relation._cardinality
+        view._empty = relation._empty
+        if relation._rows is None:
+            view._degrees = {
+                (
+                    frozenset(mapping[v] for v in x),
+                    frozenset(mapping[v] for v in y),
+                ): value
+                for (x, y), value in relation._degrees.items()
+            }
+        else:
+            view._degrees = {}
         return view
 
     def stat_relations(self, query: QueryPattern) -> list[StatRelation]:
@@ -191,6 +395,53 @@ class DegreeCatalog:
         for subset in query.connected_edge_subsets(max_size=self.h):
             result.append(self.relation_for(query.subpattern(subset)))
         return result
+
+    @property
+    def num_entries(self) -> int:
+        """Number of cached canonical relations."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_artifact(self) -> dict:
+        """JSON-serialisable snapshot of every cached relation."""
+        return {
+            "format_version": DEGREES_FORMAT_VERSION,
+            "kind": "degrees",
+            "h": self.h,
+            "complete": self.complete,
+            "relations": [
+                relation.to_artifact()
+                for _, relation in sorted(self._cache.items())
+            ],
+        }
+
+    @classmethod
+    def from_artifact(
+        cls,
+        payload: dict,
+        graph: LabeledDiGraph | None = None,
+        max_rows: int | None = 5_000_000,
+    ) -> "DegreeCatalog":
+        """Rebuild a catalog from :meth:`to_artifact` output.
+
+        With a graph, uncovered patterns fall back to lazy
+        materialisation; without one they serve empty relations (when the
+        artifact is ``complete``) or raise
+        :class:`MissingStatisticError`.
+        """
+        check_format_version(payload, DEGREES_FORMAT_VERSION, "degree catalog")
+        catalog = cls(
+            graph,
+            h=int(payload["h"]),
+            max_rows=max_rows,
+            complete=bool(payload.get("complete", False)),
+        )
+        for entry in payload["relations"]:
+            relation = StatRelation.from_artifact(entry)
+            catalog._cache[canonical_key(relation.pattern)] = relation
+        return catalog
 
 
 def _isomorphism(source: QueryPattern, target: QueryPattern) -> dict[str, str]:

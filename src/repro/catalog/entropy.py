@@ -23,12 +23,15 @@ import numpy as np
 from repro.catalog.degrees import _encode_columns
 from repro.engine.counter import count_pattern
 from repro.engine.join import extend_by_edge, start_table
+from repro.errors import MissingStatisticError, check_format_version
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.canonical import canonical_key
 from repro.query.pattern import QueryPattern
 from repro.query.shape import spanning_tree_and_closures
 
-__all__ = ["EntropyCatalog", "degree_irregularity"]
+__all__ = ["EntropyCatalog", "degree_irregularity", "ENTROPY_FORMAT_VERSION"]
+
+ENTROPY_FORMAT_VERSION = 1
 
 
 def degree_irregularity(counts: np.ndarray, num_groups: float) -> float:
@@ -46,11 +49,16 @@ def degree_irregularity(counts: np.ndarray, num_groups: float) -> float:
 
 
 class EntropyCatalog:
-    """Cached per-(E, I) degree-irregularity statistics."""
+    """Cached per-(E, I) degree-irregularity statistics.
+
+    ``graph`` may be None for a catalog loaded from an artifact; a
+    statistic absent from the artifact then raises
+    :class:`MissingStatisticError` rather than silently scoring 0.
+    """
 
     def __init__(
         self,
-        graph: LabeledDiGraph,
+        graph: LabeledDiGraph | None,
         max_rows: int | None = 5_000_000,
     ):
         self.graph = graph
@@ -72,6 +80,11 @@ class EntropyCatalog:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        if self.graph is None:
+            raise MissingStatisticError(
+                "statistics artifact does not cover entropy for "
+                f"{extension!r} on {sorted(intersection_vars)}"
+            )
         value = self._compute(extension, intersection_vars)
         self._cache[key] = value
         return value
@@ -134,3 +147,43 @@ class EntropyCatalog:
     def num_entries(self) -> int:
         """Number of cached irregularity statistics."""
         return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_artifact(self) -> dict:
+        """JSON-serialisable snapshot of the cached irregularities."""
+        return {
+            "format_version": ENTROPY_FORMAT_VERSION,
+            "kind": "entropy",
+            "entries": [
+                {
+                    "key": [list(atom) for atom in pattern_key],
+                    "vars": list(variables),
+                    "value": value,
+                }
+                for (pattern_key, variables), value in sorted(
+                    self._cache.items()
+                )
+            ],
+        }
+
+    @classmethod
+    def from_artifact(
+        cls,
+        payload: dict,
+        graph: LabeledDiGraph | None = None,
+        max_rows: int | None = 5_000_000,
+    ) -> "EntropyCatalog":
+        """Rebuild a catalog from :meth:`to_artifact` output."""
+        check_format_version(payload, ENTROPY_FORMAT_VERSION, "entropy catalog")
+        catalog = cls(graph, max_rows=max_rows)
+        for entry in payload["entries"]:
+            pattern_key = tuple(
+                (int(src), int(dst), str(label))
+                for src, dst, label in entry["key"]
+            )
+            catalog._cache[
+                (pattern_key, tuple(str(v) for v in entry["vars"]))
+            ] = float(entry["value"])
+        return catalog

@@ -3,15 +3,21 @@
 A Markov table of size ``h`` stores the true cardinality of every
 connected join pattern with at most ``h`` atoms.  §6 builds
 *workload-specific* tables ("we worked backwards from the queries to
-find the necessary subqueries"); this implementation mirrors that by
+find the necessary subqueries"); a graph-backed table mirrors that by
 populating entries lazily — a pattern's count is computed through the
-exact engine on first request and cached under its canonical key, so
-only statistics actually touched by a workload are ever materialised.
+exact engine on first request and cached under its canonical key.
 
-Tables are persistable (:meth:`MarkovTable.save` /
-:meth:`MarkovTable.load`): in a deployment the statistics are computed
-offline and shipped to the optimizer, exactly as the paper's sub-MB
-tables are.
+Tables are persistable through the uniform artifact protocol
+(:meth:`MarkovTable.to_artifact` / :meth:`MarkovTable.from_artifact`,
+with :meth:`save` / :meth:`load` as file-level conveniences): in a
+deployment the statistics are computed offline by
+:mod:`repro.stats.build` and shipped to the optimizer, exactly as the
+paper's sub-MB tables are.  A table loaded *without* a graph serves
+purely from its stored entries: a miss returns 0 when the table is
+``complete`` over a known label universe (bulk enumeration stores every
+non-empty pattern, so absence means emptiness) and raises
+:class:`MissingStatisticError` otherwise — it never silently scans a
+base graph at estimation time.
 """
 
 from __future__ import annotations
@@ -20,28 +26,48 @@ import json
 from pathlib import Path
 
 from repro.engine.counter import count_pattern
-from repro.errors import DatasetError, MissingStatisticError
+from repro.errors import (
+    DatasetError,
+    MissingStatisticError,
+    check_format_version,
+)
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.canonical import canonical_key
 from repro.query.pattern import QueryPattern
 
-__all__ = ["MarkovTable"]
+__all__ = ["MarkovTable", "MARKOV_FORMAT_VERSION"]
+
+MARKOV_FORMAT_VERSION = 1
 
 
 class MarkovTable:
-    """Cardinalities of connected joins with at most ``h`` atoms."""
+    """Cardinalities of connected joins with at most ``h`` atoms.
+
+    ``graph`` may be None for a table served purely from stored entries
+    (see the module docstring); ``labels`` is the label universe such a
+    table was built over and ``complete`` asserts that every non-empty
+    pattern of at most ``h`` atoms over those labels has an entry.
+    """
 
     def __init__(
         self,
-        graph: LabeledDiGraph,
+        graph: LabeledDiGraph | None,
         h: int = 2,
         count_budget: int | None = None,
+        labels: tuple[str, ...] | None = None,
+        complete: bool = False,
     ):
         if h < 1:
             raise ValueError("Markov table size h must be >= 1")
+        if graph is None and labels is None:
+            raise ValueError(
+                "a graph-free Markov table needs its label universe"
+            )
         self.graph = graph
         self.h = h
         self.count_budget = count_budget
+        self.labels = tuple(labels) if labels is not None else None
+        self.complete = complete
         self._cache: dict[tuple, float] = {}
 
     def contains(self, pattern: QueryPattern) -> bool:
@@ -63,11 +89,29 @@ class MarkovTable:
         key = canonical_key(pattern)
         cached = self._cache.get(key)
         if cached is None:
-            cached = float(
-                count_pattern(self.graph, pattern, budget=self.count_budget)
-            )
+            cached = self._on_miss(pattern)
             self._cache[key] = cached
         return cached
+
+    def _on_miss(self, pattern: QueryPattern) -> float:
+        if self.graph is not None:
+            return float(
+                count_pattern(self.graph, pattern, budget=self.count_budget)
+            )
+        assert self.labels is not None
+        known = set(self.labels)
+        if any(label not in known for label in pattern.labels):
+            # A label absent from the dataset: the relation is empty, so
+            # the join is too (matches the graph-backed count of 0).
+            return 0.0
+        if self.complete:
+            # Bulk enumeration stored every non-empty pattern, so a
+            # known-label miss can only be an empty join.
+            return 0.0
+        raise MissingStatisticError(
+            "statistics artifact does not cover pattern "
+            f"{pattern!r} (workload-directed table without a graph)"
+        )
 
     @property
     def num_entries(self) -> int:
@@ -95,41 +139,55 @@ class MarkovTable:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Write the materialised entries as JSON.
+    def to_artifact(self) -> dict:
+        """A JSON-serialisable snapshot of the table.
 
         Canonical keys are tuples of ``(src_index, dst_index, label)``
         triples; they serialise as nested lists.
         """
-        payload = {
+        labels = self.labels
+        if labels is None and self.graph is not None:
+            labels = self.graph.labels
+        return {
+            "format_version": MARKOV_FORMAT_VERSION,
+            "kind": "markov",
             "h": self.h,
+            "complete": self.complete,
+            "labels": list(labels) if labels is not None else None,
             "entries": [
                 {"key": [list(atom) for atom in key], "count": value}
                 for key, value in sorted(self._cache.items())
             ],
         }
-        Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
     @classmethod
-    def load(
+    def from_artifact(
         cls,
-        path: str | Path,
-        graph: LabeledDiGraph,
+        payload: dict,
+        graph: LabeledDiGraph | None = None,
         count_budget: int | None = None,
     ) -> "MarkovTable":
-        """Rebuild a table from :meth:`save` output.
+        """Rebuild a table from :meth:`to_artifact` output.
 
-        The graph is still required: entries absent from the file are
-        computed lazily as usual, so a file from a narrower workload
-        remains usable.
+        With a graph, entries absent from the artifact are computed
+        lazily as usual, so an artifact from a narrower workload remains
+        usable; without one the table serves purely from its entries.
         """
+        check_format_version(payload, MARKOV_FORMAT_VERSION, "Markov table")
         try:
-            payload = json.loads(Path(path).read_text(encoding="utf-8"))
             h = int(payload["h"])
             entries = payload["entries"]
-        except (OSError, ValueError, KeyError) as error:
-            raise DatasetError(f"invalid Markov table file {path}: {error}")
-        table = cls(graph, h=h, count_budget=count_budget)
+            labels = payload.get("labels")
+            complete = bool(payload.get("complete", False))
+        except (ValueError, KeyError, TypeError) as error:
+            raise DatasetError(f"invalid Markov table artifact: {error}")
+        table = cls(
+            graph,
+            h=h,
+            count_budget=count_budget,
+            labels=tuple(labels) if labels is not None else None,
+            complete=complete,
+        )
         for entry in entries:
             key = tuple(
                 (int(src), int(dst), str(label))
@@ -137,3 +195,28 @@ class MarkovTable:
             )
             table._cache[key] = float(entry["count"])
         return table
+
+    def save(self, path: str | Path) -> None:
+        """Write the materialised entries as versioned JSON."""
+        Path(path).write_text(json.dumps(self.to_artifact()), encoding="utf-8")
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        graph: LabeledDiGraph | None = None,
+        count_budget: int | None = None,
+    ) -> "MarkovTable":
+        """Rebuild a table from :meth:`save` output."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise DatasetError(f"invalid Markov table file {path}: {error}")
+        if not isinstance(payload, dict):
+            raise DatasetError(
+                f"invalid Markov table file {path}: expected a JSON object"
+            )
+        try:
+            return cls.from_artifact(payload, graph, count_budget=count_budget)
+        except DatasetError as error:
+            raise DatasetError(f"{path}: {error}") from None

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any table/figure, or serve a batch.
+"""Command-line entry point: regenerate figures, build stats, serve batches.
 
 Usage::
 
@@ -6,17 +6,25 @@ Usage::
     python -m repro table2
     python -m repro fig9  --scale 0.08 --per-template 2
     python -m repro all   --scale 0.05 --per-template 1 --out results/
+    python -m repro stats build --dataset example --out stats/example
+    python -m repro stats inspect stats/example
     python -m repro batch -q "a -[A]-> b -[B]-> c" -e max-hop-max -e MOLP
+    python -m repro batch --stats-dir stats/example -q "a -[A]-> b -[B]-> c"
     python -m repro batch --file queries.txt --dataset hetionet --repeat 3
 
 Each experiment prints its table; ``--out DIR`` additionally writes one
-``.txt`` per experiment.  ``batch`` estimates a set of ad-hoc queries
-through the cached :class:`~repro.service.EstimationSession` and prints
-a JSON report (estimates, per-query errors, cache statistics).
+``.txt`` per experiment.  ``stats build`` bulk-builds every summary for
+a dataset and writes one versioned artifact directory; ``stats inspect``
+prints its manifest and per-catalog sizes.  ``batch`` estimates a set of
+ad-hoc queries through the cached
+:class:`~repro.service.EstimationSession` and prints a JSON report
+(estimates, per-query errors, cache statistics) — with ``--stats-dir``
+it serves from a prebuilt artifact and never loads the base graph.
 
 ``batch`` exit codes: 0 — every estimate succeeded; 1 — at least one
 query failed to estimate (its error is in the report); 2 — the request
-itself is invalid (malformed query text, unknown estimator/dataset).
+itself is invalid (malformed query text, unknown estimator/dataset,
+artifact/spec mismatch).  ``stats`` uses 0/2 the same way.
 """
 
 from __future__ import annotations
@@ -28,7 +36,7 @@ import time
 from pathlib import Path
 
 from repro.catalog.cycle_rates import CycleClosingRates
-from repro.datasets.presets import DATASETS, load_dataset
+from repro.datasets.presets import DATASETS, EXAMPLE_DATASET, load_dataset
 from repro.errors import ReproError
 from repro.experiments import (
     ExperimentConfig,
@@ -48,6 +56,14 @@ from repro.service.session import (
     EstimationSession,
     EstimatorSpec,
 )
+from repro.stats import (
+    StatisticsStore,
+    StatsBuildConfig,
+    build_statistics,
+    inspect_artifact,
+)
+
+DATASET_CHOICES = sorted(DATASETS) + [EXAMPLE_DATASET]
 
 EXPERIMENTS = {
     "table1": lambda config: table1_markov_example(),
@@ -110,9 +126,15 @@ def build_batch_parser() -> argparse.ArgumentParser:
             "'MOLP-sketch<K>'; repeatable (default: max-hop-max)"
         ),
     )
-    parser.add_argument("--dataset", choices=sorted(DATASETS),
+    parser.add_argument("--dataset", choices=DATASET_CHOICES,
                         default="hetionet",
                         help="preset dataset to estimate against")
+    parser.add_argument("--stats-dir", type=Path, default=None, metavar="DIR",
+                        help="serve from a prebuilt statistics artifact "
+                             "(see 'repro stats build'); the base graph is "
+                             "never loaded, --dataset/--scale/--h are taken "
+                             "from its manifest, and --cycle-rates/--seed do "
+                             "not apply (rates come from the artifact)")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="dataset scale factor (default 0.05)")
     parser.add_argument("--h", type=int, default=3,
@@ -172,9 +194,22 @@ def run_batch(argv: list[str]) -> int:
     except ValueError as error:
         print(f"repro batch: {error}", file=sys.stderr)
         return 2
-    if any(spec.use_cycle_rates for spec in specs) and not args.cycle_rates:
+    if args.stats_dir is not None and args.cycle_rates:
         print(
-            "repro batch: '+ocr' estimators need --cycle-rates",
+            "repro batch: --cycle-rates conflicts with --stats-dir — served "
+            "rates come from the artifact (rebuild it with "
+            "'repro stats build --cycle-rates --workload ...')",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        any(spec.use_cycle_rates for spec in specs)
+        and not args.cycle_rates
+        and args.stats_dir is None
+    ):
+        print(
+            "repro batch: '+ocr' estimators need --cycle-rates "
+            "(or a --stats-dir artifact holding sampled rates)",
             file=sys.stderr,
         )
         return 2
@@ -193,30 +228,74 @@ def run_batch(argv: list[str]) -> int:
         print(f"repro batch: malformed query: {error}", file=sys.stderr)
         return 2
     started = time.perf_counter()
-    try:
-        graph = load_dataset(args.dataset, args.scale)
-    except ReproError as error:
-        print(f"repro batch: {error}", file=sys.stderr)
-        return 2
-    rates = (
-        CycleClosingRates(graph, seed=args.seed) if args.cycle_rates else None
-    )
-    session = EstimationSession(
-        graph,
-        h=args.h,
-        molp_h=args.molp_h,
-        cycle_rates=rates,
-        max_workers=args.workers,
-    )
+    if args.stats_dir is not None:
+        # Serve-without-graph mode: every statistic comes from the
+        # artifact; the base graph is never loaded or scanned.
+        try:
+            store = StatisticsStore.load(args.stats_dir)
+        except ReproError as error:
+            print(f"repro batch: {error}", file=sys.stderr)
+            return 2
+        for spec in specs:
+            if spec.kind == "molp" and spec.sketch_budget > 1:
+                print(
+                    f"repro batch: {spec.name!r} partitions base relations "
+                    "and cannot run from --stats-dir (use plain MOLP)",
+                    file=sys.stderr,
+                )
+                return 2
+            # A query whose cyclic shape the artifact's rates don't cover
+            # fails per-query with MissingStatisticError (exit 1); only
+            # an artifact with no rate table at all is a request error.
+            if spec.use_cycle_rates and store.cycle_rates is None:
+                print(
+                    f"repro batch: {spec.name!r} needs cycle rates but the "
+                    "artifact holds none (rebuild with --cycle-rates and a "
+                    "--workload)",
+                    file=sys.stderr,
+                )
+                return 2
+        session = store.session(max_workers=args.workers)
+        # Provenance comes from the manifest alone: an artifact built
+        # outside `repro stats build` may not record a dataset name or
+        # scale, and the --dataset/--scale defaults describe a different
+        # graph entirely.
+        dataset_name = store.manifest.dataset_name or None
+        graph_summary = store.manifest.graph_summary
+        scale = store.manifest.build_config.get("scale")
+    else:
+        try:
+            graph = load_dataset(args.dataset, args.scale)
+        except ReproError as error:
+            print(f"repro batch: {error}", file=sys.stderr)
+            return 2
+        rates = (
+            CycleClosingRates(graph, seed=args.seed)
+            if args.cycle_rates else None
+        )
+        session = EstimationSession(
+            graph,
+            h=args.h,
+            molp_h=args.molp_h,
+            cycle_rates=rates,
+            max_workers=args.workers,
+        )
+        dataset_name = args.dataset
+        graph_summary = {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        }
+        scale = args.scale
     repeats = max(args.repeat, 1)
     for _ in range(repeats):
         batch = session.estimate_batch(patterns, specs=specs)
     report = {
-        "dataset": args.dataset,
-        "scale": args.scale,
+        "dataset": dataset_name,
+        "scale": scale,
+        "stats_dir": str(args.stats_dir) if args.stats_dir else None,
         "graph": {
-            "vertices": graph.num_vertices,
-            "edges": graph.num_edges,
+            "vertices": graph_summary.get("num_vertices"),
+            "edges": graph_summary.get("num_edges"),
         },
         "estimators": batch.specs,
         "num_queries": len(patterns),
@@ -245,11 +324,133 @@ def run_batch(argv: list[str]) -> int:
     return 0 if batch.ok else 1
 
 
+def build_stats_parser() -> argparse.ArgumentParser:
+    """The ``repro stats build`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats build",
+        description=(
+            "Bulk-build every estimator summary for a dataset and write "
+            "one versioned statistics artifact directory."
+        ),
+    )
+    parser.add_argument("--dataset", choices=DATASET_CHOICES,
+                        default=EXAMPLE_DATASET,
+                        help="preset dataset to build statistics for")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale factor (default 0.05)")
+    parser.add_argument("--h", type=int, default=2,
+                        help="Markov table size (default 2)")
+    parser.add_argument("--molp-h", type=int, default=2,
+                        help="MOLP join-statistics size (default 2)")
+    parser.add_argument(
+        "--workload", choices=["full", "acyclic", "cyclic", "both"],
+        default="full",
+        help="'full' enumerates every connected pattern over the label "
+             "set; the others build workload-directed statistics for the "
+             "named template family (default full)",
+    )
+    parser.add_argument("--per-template", type=int, default=2,
+                        help="instances per template for workload-directed "
+                             "builds (default 2)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload / cycle-rate sampling seed")
+    parser.add_argument("--cycle-rates", action="store_true",
+                        help="sample cycle-closing rates (workload-directed "
+                             "builds only)")
+    parser.add_argument("--out", type=Path, required=True, metavar="DIR",
+                        help="artifact directory to write")
+    parser.add_argument("--indent", action="store_true",
+                        help="pretty-print the JSON summary")
+    return parser
+
+
+def _build_workload(args: argparse.Namespace, graph) -> list | None:
+    from repro.datasets.workloads import acyclic_workload, cyclic_workload
+
+    if args.workload == "full":
+        return None
+    queries = []
+    if args.workload in ("acyclic", "both"):
+        queries += acyclic_workload(
+            graph, per_template=args.per_template, seed=args.seed
+        )
+    if args.workload in ("cyclic", "both"):
+        queries += cyclic_workload(
+            graph, per_template=args.per_template, seed=args.seed
+        )
+    return [query.pattern for query in queries]
+
+
+def run_stats(argv: list[str]) -> int:
+    """The ``repro stats`` subcommand; returns a process exit code."""
+    if not argv or argv[0] not in ("build", "inspect"):
+        print(
+            "repro stats: expected a subcommand: build | inspect DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if argv[0] == "inspect":
+        if len(argv) != 2:
+            print("repro stats inspect: expected one DIR", file=sys.stderr)
+            return 2
+        try:
+            report = inspect_artifact(argv[1])
+        except ReproError as error:
+            print(f"repro stats inspect: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(report, indent=2))
+        return 0
+    args = build_stats_parser().parse_args(argv[1:])
+    if args.cycle_rates and args.workload == "full":
+        print(
+            "repro stats build: --cycle-rates is workload-directed (rates "
+            "are sampled for the cycles the queries close); pass "
+            "--workload acyclic|cyclic|both",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        graph = load_dataset(args.dataset, args.scale)
+    except ReproError as error:
+        print(f"repro stats build: {error}", file=sys.stderr)
+        return 2
+    config = StatsBuildConfig(
+        h=args.h,
+        molp_h=args.molp_h,
+        cycle_rates=args.cycle_rates,
+        cycle_seed=args.seed,
+    )
+    workload = _build_workload(args, graph)
+    store = build_statistics(
+        graph, config, workload=workload, dataset_name=args.dataset
+    )
+    store.manifest.build_config["scale"] = args.scale
+    store.save(args.out)
+    summary = {
+        "out": str(args.out),
+        "dataset": args.dataset,
+        "mode": store.manifest.build_config.get("mode"),
+        "complete": store.manifest.complete,
+        "markov_entries": store.markov.num_entries,
+        "degree_relations": store.degrees.num_entries,
+        "cycle_rate_entries": (
+            store.cycle_rates.num_entries
+            if store.cycle_rates is not None else 0
+        ),
+        "build_seconds": store.manifest.build_config.get("build_seconds"),
+        "total_bytes": inspect_artifact(args.out)["total_bytes"],
+    }
+    print(json.dumps(summary, indent=2 if args.indent else None))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Run the selected experiment(s) or batch; returns an exit code."""
+    """Run the selected experiment(s), stats command, or batch."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return run_batch(argv[1:])
+    if argv and argv[0] == "stats":
+        return run_stats(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -23,6 +23,7 @@ from repro.core.estimators import (
     OptimisticEstimator,
     PStarOracle,
     all_nine_estimators,
+    estimators_from_store,
 )
 from repro.core.molp import molp_lp_bound
 from repro.core.paths import (
@@ -63,6 +64,7 @@ __all__ = [
     "LowestEntropyEstimator",
     "lowest_entropy_estimate",
     "all_nine_estimators",
+    "estimators_from_store",
     "HopStats",
     "hop_statistics",
     "estimate_from_ceg",

@@ -97,16 +97,18 @@ def optimistic_sketch_estimate(
     path_length: str = "max",
     aggregator: str = "max",
     count_budget: int | None = None,
+    markov: MarkovTable | None = None,
 ) -> float:
-    """An optimistic estimate refined with the bound sketch (§5.2.2)."""
-    if budget <= 1:
-        markov = MarkovTable(graph, h=h, count_budget=count_budget)
-        return estimate_from_ceg(
-            build_ceg_o(query, markov), path_length, aggregator
-        )
+    """An optimistic estimate refined with the bound sketch (§5.2.2).
+
+    ``markov`` reuses an existing whole-graph table (its ``h`` takes
+    precedence) for the unpartitioned paths; per-partition tables are
+    always fresh since they describe different subgraphs.
+    """
     attrs = join_attributes(query)
-    if not attrs:
-        markov = MarkovTable(graph, h=h, count_budget=count_budget)
+    if budget <= 1 or not attrs:
+        if markov is None:
+            markov = MarkovTable(graph, h=h, count_budget=count_budget)
         return estimate_from_ceg(
             build_ceg_o(query, markov), path_length, aggregator
         )

@@ -36,6 +36,7 @@ __all__ = [
     "PStarOracle",
     "MolpEstimator",
     "all_nine_estimators",
+    "estimators_from_store",
 ]
 
 
@@ -126,20 +127,37 @@ def _q_error(estimate: float, truth: float) -> float:
 
 
 class MolpEstimator:
-    """The MOLP pessimistic estimator (≡ CBS on acyclic binary queries)."""
+    """The MOLP pessimistic estimator (≡ CBS on acyclic binary queries).
+
+    ``catalog`` injects a prebuilt (possibly graph-free)
+    :class:`~repro.catalog.degrees.DegreeCatalog`; a graph is then only
+    required for the bound sketch (``budget > 1``), which re-partitions
+    base relations.
+    """
 
     def __init__(
         self,
-        graph: LabeledDiGraph,
+        graph: LabeledDiGraph | None,
         h: int = 2,
         budget: int = 1,
         max_rows: int | None = 5_000_000,
+        catalog: DegreeCatalog | None = None,
     ):
+        if graph is None and catalog is None:
+            raise ValueError("MolpEstimator needs a graph or a degree catalog")
+        if budget > 1 and graph is None:
+            raise ValueError(
+                "the bound sketch partitions base relations and needs a graph"
+            )
         self.graph = graph
-        self.h = h
+        self.h = catalog.h if catalog is not None else h
         self.budget = budget
         self.max_rows = max_rows
-        self._catalog = DegreeCatalog(graph, h=h, max_rows=max_rows)
+        self._catalog = (
+            catalog
+            if catalog is not None
+            else DegreeCatalog(graph, h=h, max_rows=max_rows)
+        )
 
     @property
     def name(self) -> str:
@@ -175,3 +193,28 @@ def all_nine_estimators(
             )
             estimators[estimator.name] = estimator
     return estimators
+
+
+def estimators_from_store(
+    store,
+    use_cycle_rates: bool = False,
+    include_molp: bool = True,
+) -> dict[str, OptimisticEstimator | MolpEstimator]:
+    """The estimator suite reading every statistic from one store.
+
+    ``store`` is a :class:`repro.stats.StatisticsStore` (duck-typed to
+    keep this module import-light).  The nine §4.2 heuristics share the
+    store's Markov table (and its cycle rates when ``use_cycle_rates``);
+    MOLP shares its degree catalog.  A graph-free store yields a suite
+    that never touches a base graph.
+    """
+    rates = store.cycle_rates if use_cycle_rates else None
+    if use_cycle_rates and rates is None:
+        raise ValueError("the store holds no cycle-closing rates")
+    suite: dict[str, OptimisticEstimator | MolpEstimator] = dict(
+        all_nine_estimators(store.markov, cycle_rates=rates)
+    )
+    if include_molp:
+        molp = MolpEstimator(store.graph, catalog=store.degrees)
+        suite[molp.name] = molp
+    return suite

@@ -1,6 +1,13 @@
 """Dataset presets (Table 2) and workload generators (§6.1)."""
 
-from repro.datasets.presets import DATASETS, DatasetSpec, dataset_table, load_dataset
+from repro.datasets.presets import (
+    DATASETS,
+    EXAMPLE_DATASET,
+    DatasetSpec,
+    dataset_table,
+    load_dataset,
+    running_example_graph,
+)
 from repro.datasets.workloads import (
     WorkloadQuery,
     acyclic_workload,
@@ -13,6 +20,8 @@ from repro.datasets.workloads import (
 
 __all__ = [
     "DATASETS",
+    "EXAMPLE_DATASET",
+    "running_example_graph",
     "DatasetSpec",
     "load_dataset",
     "dataset_table",

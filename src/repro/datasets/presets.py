@@ -19,7 +19,14 @@ from repro.errors import DatasetError
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.generators import generate_graph
 
-__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "dataset_table"]
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "load_dataset",
+    "dataset_table",
+    "running_example_graph",
+    "EXAMPLE_DATASET",
+]
 
 
 @dataclass(frozen=True)
@@ -133,15 +140,50 @@ DATASETS: dict[str, DatasetSpec] = {
     ]
 }
 
+def running_example_graph() -> LabeledDiGraph:
+    """The paper's Figure-2-shaped running example (13 vertices, 5 labels).
+
+    ``A`` edges chain into a ``B`` layer which forks into ``C``/``D``/``E``
+    — the graph behind the fork query ``Q5f`` used throughout §4.  Small
+    enough for docs, CI smoke tests and artifact examples.
+    """
+    triples: list[tuple[int, int, str]] = []
+    for u, v in [(0, 3), (1, 3), (2, 4), (0, 4)]:
+        triples.append((u, v, "A"))
+    for u, v in [(3, 5), (4, 5), (3, 6), (4, 6)]:
+        triples.append((u, v, "B"))
+    for u, v in [(5, 7), (5, 8), (6, 7)]:
+        triples.append((u, v, "C"))
+    for u, v in [(5, 9), (6, 9), (6, 10)]:
+        triples.append((u, v, "D"))
+    for u, v in [(5, 11), (6, 11), (5, 12), (6, 12)]:
+        triples.append((u, v, "E"))
+    return LabeledDiGraph.from_triples(triples, num_vertices=13)
+
+
+EXAMPLE_DATASET = "example"
+
 _CACHE: dict[tuple[str, float], LabeledDiGraph] = {}
 
 
 def load_dataset(name: str, scale: float = 1.0) -> LabeledDiGraph:
-    """Build (and cache) a preset dataset."""
+    """Build (and cache) a preset dataset.
+
+    ``"example"`` loads the fixed running-example graph (``scale`` is
+    ignored); the six Table-2 presets are seeded generators.
+    """
+    if name == EXAMPLE_DATASET:
+        key = (name, 1.0)
+        cached = _CACHE.get(key)
+        if cached is None:
+            cached = running_example_graph()
+            _CACHE[key] = cached
+        return cached
     spec = DATASETS.get(name)
     if spec is None:
         raise DatasetError(
-            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+            f"unknown dataset {name!r}; choose from "
+            f"{sorted(DATASETS) + [EXAMPLE_DATASET]}"
         )
     key = (name, scale)
     cached = _CACHE.get(key)

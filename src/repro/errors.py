@@ -37,3 +37,23 @@ class PlanningError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset file or preset is invalid."""
+
+
+def check_format_version(payload: dict, expected: int, what: str) -> None:
+    """Validate an artifact payload's ``format_version`` field.
+
+    Shared by every persistable catalog and summary.  Raises a friendly
+    :class:`DatasetError` (never a ``KeyError``) when the field is
+    missing or does not match ``expected``.
+    """
+    found = payload.get("format_version")
+    if found is None:
+        raise DatasetError(
+            f"{what}: missing 'format_version' field (file predates the "
+            f"versioned artifact format; rebuild it with this version)"
+        )
+    if found != expected:
+        raise DatasetError(
+            f"{what}: format_version {found!r} is not supported "
+            f"(this build reads version {expected}); rebuild the artifact"
+        )

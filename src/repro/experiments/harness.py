@@ -24,6 +24,7 @@ from repro.errors import ReproError
 from repro.experiments.metrics import QErrorSummary, summarize
 from repro.query.pattern import QueryPattern
 from repro.service.session import EstimationSession, EstimatorSpec
+from repro.stats.store import StatisticsStore
 
 __all__ = [
     "EstimatorLike",
@@ -109,7 +110,7 @@ def run_harness(
 
 def run_harness_batched(
     workload: list[WorkloadQuery],
-    session: EstimationSession,
+    session: EstimationSession | StatisticsStore,
     specs: Sequence[EstimatorSpec | str],
     drop_on_failure: bool = True,
     max_workers: int | None = None,
@@ -120,7 +121,13 @@ def run_harness_batched(
     ``session.estimators(specs)`` (same drop-on-failure convention, same
     result shape) but runs as one :meth:`EstimationSession.estimate_batch`
     call, so queries of the same canonical shape are estimated once.
+
+    A prebuilt :class:`~repro.stats.StatisticsStore` may be passed in
+    place of a session: a session serving from it (graph-free when the
+    store is) is created for the call.
     """
+    if isinstance(session, StatisticsStore):
+        session = session.session(max_workers=max_workers)
     batch = session.estimate_batch(
         [query.pattern for query in workload],
         specs=specs,

@@ -34,7 +34,7 @@ class LabelRelation:
     dst_by_src: np.ndarray
     src_by_dst: np.ndarray
     dst_by_dst: np.ndarray
-    _pair_keys: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    _pair_keys: np.ndarray | None = field(repr=False, default=None)
 
     @classmethod
     def build(cls, label: str, src: np.ndarray, dst: np.ndarray) -> "LabelRelation":

@@ -52,6 +52,7 @@ from repro.graph.digraph import LabeledDiGraph
 from repro.query.canonical import canonical_key, canonical_pattern
 from repro.query.pattern import QueryPattern
 from repro.service.lru import CacheStats, LRUCache
+from repro.stats.store import StatisticsStore
 
 __all__ = [
     "EstimatorSpec",
@@ -248,15 +249,23 @@ class EstimationSession:
     Parameters
     ----------
     graph:
-        The data graph.
+        The data graph.  May be None when a ``store`` is supplied: the
+        session then serves purely from the store's artifacts and never
+        touches a base graph (the §6 deployment shape) — ``MOLP-sketch``
+        specs, which re-partition base relations, are rejected.
     h:
         Markov-table size for the optimistic estimators.
     molp_h:
         Join-statistics size for the MOLP degree catalog.
     cycle_rates:
-        Optional sampled cycle-closing rates enabling ``+ocr`` specs.
+        Optional sampled cycle-closing rates enabling ``+ocr`` specs
+        (defaults to the store's rates when a store is given).
     markov:
         An existing Markov table to reuse (built lazily otherwise).
+    store:
+        A prebuilt :class:`~repro.stats.StatisticsStore` supplying the
+        Markov table, degree catalog and cycle rates; its ``h`` and
+        ``molp_h`` take precedence.
     skeleton_capacity / estimate_capacity:
         LRU capacities of the two caches.
     max_workers:
@@ -266,7 +275,7 @@ class EstimationSession:
 
     def __init__(
         self,
-        graph: LabeledDiGraph,
+        graph: LabeledDiGraph | None,
         h: int = 3,
         molp_h: int = 2,
         cycle_rates: CycleClosingRates | None = None,
@@ -275,8 +284,25 @@ class EstimationSession:
         estimate_capacity: int = 4096,
         max_workers: int | None = None,
         max_rows: int | None = 5_000_000,
+        store: StatisticsStore | None = None,
     ):
+        catalog: DegreeCatalog | None = None
+        if store is not None:
+            if graph is None:
+                graph = store.graph
+            markov = store.markov
+            h = store.markov.h
+            molp_h = store.degrees.h
+            catalog = store.degrees
+            if cycle_rates is None:
+                cycle_rates = store.cycle_rates
+        elif graph is None and markov is None:
+            raise ValueError(
+                "EstimationSession needs a graph, a Markov table, or a "
+                "statistics store"
+            )
         self.graph = graph
+        self.store = store
         self.h = h
         self.molp_h = molp_h
         self.cycle_rates = cycle_rates
@@ -286,7 +312,7 @@ class EstimationSession:
         self._skeletons: LRUCache[CEG] = LRUCache(skeleton_capacity)
         self._estimates: LRUCache[float] = LRUCache(estimate_capacity)
         self._build_lock = threading.Lock()
-        self._catalog: DegreeCatalog | None = None
+        self._catalog: DegreeCatalog | None = catalog
         self._catalog_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -325,6 +351,18 @@ class EstimationSession:
                 )
             return self._catalog
 
+    def _validate_spec(self, spec: EstimatorSpec) -> None:
+        """Reject specs this session cannot serve (caller error)."""
+        if spec.use_cycle_rates and self.cycle_rates is None:
+            raise ValueError(
+                f"spec {spec.name!r} needs cycle rates but the session has none"
+            )
+        if spec.kind == "molp" and spec.sketch_budget > 1 and self.graph is None:
+            raise ValueError(
+                f"spec {spec.name!r} partitions base relations and needs a "
+                "data graph; a statistics-only session serves plain MOLP"
+            )
+
     # ------------------------------------------------------------------
     # Estimation
     # ------------------------------------------------------------------
@@ -337,10 +375,7 @@ class EstimationSession:
         fresh estimator would (errors are never cached).
         """
         spec = EstimatorSpec.coerce(spec)
-        if spec.use_cycle_rates and self.cycle_rates is None:
-            raise ValueError(
-                f"spec {spec.name!r} needs cycle rates but the session has none"
-            )
+        self._validate_spec(spec)
         key = (canonical_key(pattern), spec)
         cached = self._estimates.get(key)
         if cached is not None:
@@ -395,11 +430,7 @@ class EstimationSession:
         # reject it before fan-out so it cannot surface as a mid-batch
         # ValueError escaping the per-cell ReproError capture.
         for spec in spec_objs:
-            if spec.use_cycle_rates and self.cycle_rates is None:
-                raise ValueError(
-                    f"spec {spec.name!r} needs cycle rates but the session "
-                    "has none"
-                )
+            self._validate_spec(spec)
         tasks = [
             (index, pattern, spec)
             for index, pattern in enumerate(patterns)

@@ -1,0 +1,140 @@
+"""Versioned on-disk layout for statistics artifacts.
+
+One artifact directory holds everything the serving plane needs::
+
+    <dir>/
+      manifest.json             # format version, fingerprint, build config
+      markov.json               # MarkovTable.to_artifact()
+      degrees.json              # DegreeCatalog.to_artifact()
+      cycle_rates.json          # optional: CycleClosingRates.to_artifact()
+      entropy.json              # optional: EntropyCatalog.to_artifact()
+      characteristic_sets.json  # CharacteristicSetsEstimator.to_artifact()
+      sumrdf.npz                # SumRdfEstimator.to_artifact() arrays
+
+The manifest carries a *dataset fingerprint* — a content hash of the
+graph's relations — so a serving process can refuse statistics built
+from a different dataset, and a ``format_version`` checked with the same
+friendly :class:`~repro.errors.DatasetError` the per-catalog artifacts
+use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DatasetError, check_format_version
+from repro.graph.digraph import LabeledDiGraph
+
+__all__ = [
+    "STORE_FORMAT_VERSION",
+    "MANIFEST_FILE",
+    "CATALOG_FILES",
+    "StoreManifest",
+    "dataset_fingerprint",
+]
+
+STORE_FORMAT_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+
+CATALOG_FILES = {
+    "markov": "markov.json",
+    "degrees": "degrees.json",
+    "cycle_rates": "cycle_rates.json",
+    "entropy": "entropy.json",
+    "characteristic_sets": "characteristic_sets.json",
+    "sumrdf": "sumrdf.npz",
+}
+
+
+def dataset_fingerprint(graph: LabeledDiGraph) -> str:
+    """A content hash of the graph's relations.
+
+    Stable across processes and platforms: hashes the vertex count plus
+    every label's sorted ``(src, dst)`` arrays (relations are stored
+    sorted and deduplicated, so equal graphs hash equal).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"v{graph.num_vertices}".encode("utf-8"))
+    for label in graph.labels:
+        relation = graph.relation(label)
+        digest.update(b"\x00" + label.encode("utf-8") + b"\x00")
+        digest.update(relation.src_by_src.astype("<i8").tobytes())
+        digest.update(relation.dst_by_src.astype("<i8").tobytes())
+    return digest.hexdigest()[:20]
+
+
+@dataclass
+class StoreManifest:
+    """Metadata of one statistics artifact directory."""
+
+    dataset_fingerprint: str
+    h: int
+    molp_h: int
+    dataset_name: str = ""
+    graph_summary: dict = field(default_factory=dict)
+    build_config: dict = field(default_factory=dict)
+    catalogs: list[str] = field(default_factory=list)
+    complete: bool = False
+
+    def to_payload(self) -> dict:
+        """The JSON body written as ``manifest.json``."""
+        return {
+            "format_version": STORE_FORMAT_VERSION,
+            "kind": "statistics_store",
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "dataset_name": self.dataset_name,
+            "graph_summary": self.graph_summary,
+            "h": self.h,
+            "molp_h": self.molp_h,
+            "complete": self.complete,
+            "build_config": self.build_config,
+            "catalogs": sorted(self.catalogs),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StoreManifest":
+        """Parse and version-check a ``manifest.json`` body."""
+        check_format_version(
+            payload, STORE_FORMAT_VERSION, "statistics store manifest"
+        )
+        try:
+            return cls(
+                dataset_fingerprint=str(payload["dataset_fingerprint"]),
+                dataset_name=str(payload.get("dataset_name", "")),
+                graph_summary=dict(payload.get("graph_summary", {})),
+                h=int(payload["h"]),
+                molp_h=int(payload["molp_h"]),
+                complete=bool(payload.get("complete", False)),
+                build_config=dict(payload.get("build_config", {})),
+                catalogs=list(payload.get("catalogs", [])),
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            raise DatasetError(f"invalid statistics manifest: {error}")
+
+    def save(self, directory: str | Path) -> None:
+        """Write ``manifest.json`` into the artifact directory."""
+        path = Path(directory) / MANIFEST_FILE
+        path.write_text(
+            json.dumps(self.to_payload(), indent=2), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "StoreManifest":
+        """Read ``manifest.json`` from an artifact directory."""
+        path = Path(directory) / MANIFEST_FILE
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise DatasetError(
+                f"not a statistics artifact directory (no readable "
+                f"{MANIFEST_FILE}): {error}"
+            )
+        except ValueError as error:
+            raise DatasetError(f"corrupt {path}: {error}")
+        if not isinstance(payload, dict):
+            raise DatasetError(f"corrupt {path}: expected a JSON object")
+        return cls.from_payload(payload)

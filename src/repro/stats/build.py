@@ -1,0 +1,542 @@
+"""Offline bulk construction of every summary the estimators serve.
+
+The lazy catalogs compute one statistic per :func:`count_pattern` call,
+on the request path.  The bulk builder inverts that (§6: statistics are
+computed offline and shipped to the optimizer):
+
+* **Full enumeration** (no workload): grow every connected pattern of up
+  to ``h`` atoms over the dataset's label set, level by level.  Each
+  level-``k`` pattern keeps its match table; level ``k+1`` is produced
+  by extending those tables with one more atom (candidate labels pruned
+  against the table's matched vertex sets), so a child's count is one
+  vectorised join instead of a from-scratch engine run, and every
+  canonical shape is counted exactly once.  Patterns with zero matches
+  are never stored or extended — supersets of an empty join are empty —
+  which is what lets a *complete* artifact answer misses with 0.
+* **Workload-directed** (the paper's "we worked backwards from the
+  queries"): enumerate the union of canonical connected subpatterns the
+  estimator suite needs across all workload queries, and count each
+  once.
+
+Degree statistics for the MOLP catalog are extracted from the same
+match tables in bulk (:func:`~repro.catalog.degrees.all_degree_pairs`
+shares the distinct-``Y`` reduction across all ``X ⊆ Y``), cycle-closing
+rates and entropy weights are primed by building each workload query's
+CEG once, and the two baseline summaries (Characteristic Sets, SumRDF)
+are single whole-graph passes.
+
+Every stored number is produced by the same deterministic integer
+arithmetic the lazy path uses, so estimates served from a built (or
+saved-and-loaded) store are bit-identical to the never-persisted path —
+the property suite enforces this.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.baselines.characteristic_sets import CharacteristicSetsEstimator
+from repro.baselines.sumrdf import SumRdfEstimator
+from repro.catalog.cycle_rates import CycleClosingRates
+from repro.catalog.degrees import (
+    DegreeCatalog,
+    StatRelation,
+    materialise_table,
+)
+from repro.catalog.entropy import EntropyCatalog
+from repro.catalog.markov import MarkovTable
+from repro.core.ceg_entropy import lowest_entropy_estimate
+from repro.core.ceg_o import build_ceg_o
+from repro.engine.backtracking import two_core_edges
+from repro.engine.counter import count_pattern
+from repro.engine.join import BindingTable, extend_by_edge, start_table
+from repro.errors import PlanningError, ReproError
+from repro.graph.digraph import LabeledDiGraph
+from repro.query.canonical import canonical_key, canonical_pattern
+from repro.query.pattern import QueryEdge, QueryPattern
+from repro.query.shape import largest_cycle_length
+from repro.stats.artifact import StoreManifest, dataset_fingerprint
+from repro.stats.store import StatisticsStore
+
+__all__ = [
+    "StatsBuildConfig",
+    "build_statistics",
+    "ensure_baselines",
+    "extend_statistics",
+]
+
+
+@dataclass(frozen=True)
+class StatsBuildConfig:
+    """Knobs of one offline statistics build.
+
+    ``h`` is the Markov-table size, ``molp_h`` the join-statistics size
+    of the MOLP degree catalog; patterns are enumerated up to
+    ``max(h, molp_h)`` atoms.  ``cycle_rates`` samples the §4.3
+    closing-rate statistics (workload-directed; full enumeration of all
+    label triples would leave the paper's ``O(L^3)`` budget).
+    """
+
+    h: int = 2
+    molp_h: int = 2
+    max_rows: int | None = 5_000_000
+    count_budget: int | None = None
+    cycle_rates: bool = False
+    cycle_seed: int = 0
+    cycle_samples: int = 1000
+    baselines: bool = True
+    sumrdf_buckets: int = 64
+    sumrdf_seed: int = 0
+    entropy: bool = False
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form recorded in the artifact manifest."""
+        return asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Shared enumeration
+# ----------------------------------------------------------------------
+
+def _intersects(sorted_values: np.ndarray, sorted_probe: np.ndarray) -> bool:
+    """Whether two sorted unique int arrays share an element."""
+    if len(sorted_values) == 0 or len(sorted_probe) == 0:
+        return False
+    if len(sorted_probe) > len(sorted_values):
+        sorted_values, sorted_probe = sorted_probe, sorted_values
+    slots = np.searchsorted(sorted_values, sorted_probe)
+    valid = slots < len(sorted_values)
+    return bool(np.any(sorted_values[slots[valid]] == sorted_probe[valid]))
+
+
+def _fresh_name(variables: Iterable[str]) -> str:
+    taken = set(variables)
+    index = len(taken)
+    while f"f{index}" in taken:
+        index += 1
+    return f"f{index}"
+
+
+def _candidate_edges(
+    pattern: QueryPattern,
+    table: BindingTable | None,
+    labels: tuple[str, ...],
+    unique_src: dict[str, np.ndarray],
+    unique_dst: dict[str, np.ndarray],
+):
+    """One-atom extensions of ``pattern`` that can have matches.
+
+    With a match table, candidate labels are pruned against the matched
+    vertex sets of the variables the new atom touches (a necessary
+    condition for the child to be non-empty, so pruning never loses a
+    non-empty pattern); without one, every label is a candidate.
+    """
+    variables = pattern.variables
+    existing = set(pattern.edges)
+    fresh = _fresh_name(variables)
+    if table is None:
+        values = None
+    else:
+        column_of = {var: i for i, var in enumerate(table.variables)}
+        values = {
+            var: np.unique(table.rows[:, column_of[var]]) for var in variables
+        }
+    for var in variables:
+        for label in labels:
+            if values is None or _intersects(unique_src[label], values[var]):
+                yield QueryEdge(var, fresh, label)
+            if values is None or _intersects(unique_dst[label], values[var]):
+                yield QueryEdge(fresh, var, label)
+    for src in variables:
+        for dst in variables:
+            for label in labels:
+                edge = QueryEdge(src, dst, label)
+                if edge in existing:
+                    continue
+                if values is None or (
+                    _intersects(unique_src[label], values[src])
+                    and _intersects(unique_dst[label], values[dst])
+                ):
+                    yield edge
+
+
+def _budgeted_count(
+    graph: LabeledDiGraph,
+    pattern: QueryPattern,
+    table: BindingTable | None,
+    count_budget: int | None,
+) -> float:
+    """A pattern count honouring the lazy path's budget semantics.
+
+    The step budget applies only to cyclic backtracking
+    (:func:`count_general`); for acyclic patterns the match-table count
+    is the same number the budget-free DP returns, so the join-table
+    shortcut is exact.  For cyclic patterns under a budget, defer to the
+    engine so over-budget patterns raise ``CountBudgetExceeded`` exactly
+    where a lazy Markov table would — a budgeted driver (Figure 12) must
+    drop the same queries the old per-figure tables dropped.
+    """
+    if table is not None and (
+        count_budget is None or not two_core_edges(pattern)
+    ):
+        return float(table.rows.shape[0])
+    return float(count_pattern(graph, pattern, budget=count_budget))
+
+
+@dataclass
+class _Enumeration:
+    """What one enumeration pass produced.
+
+    ``markov_complete`` / ``degrees_complete`` assert that every
+    non-empty pattern in range has, respectively, a stored count / a
+    stored degree relation — the licence for a graph-free catalog to
+    answer misses with "empty".  They diverge when a match table
+    overflows ``max_rows``: the count still comes from the engine, but
+    no degree relation can be extracted.
+    """
+
+    counts: dict[tuple, float]
+    degree_relations: dict[tuple, StatRelation]
+    enumerated: int
+    markov_complete: bool
+    degrees_complete: bool
+
+
+def _enumerate_full(
+    graph: LabeledDiGraph, config: StatsBuildConfig
+) -> _Enumeration:
+    """Grow all non-empty connected patterns up to ``max(h, molp_h)``."""
+    h_enum = max(config.h, config.molp_h)
+    labels = graph.labels
+    unique_src = {
+        label: np.unique(graph.relation(label).src_by_src) for label in labels
+    }
+    unique_dst = {
+        label: np.unique(graph.relation(label).dst_by_src) for label in labels
+    }
+    counts: dict[tuple, float] = {}
+    degree_relations: dict[tuple, StatRelation] = {}
+    seen: set[tuple] = set()
+    markov_complete = True
+    degrees_complete = True
+    level: list[tuple[QueryPattern, BindingTable | None]] = []
+
+    def record(
+        pattern: QueryPattern, key: tuple, table: BindingTable | None
+    ) -> float | None:
+        """Count (from the table when available), store, return count."""
+        nonlocal markov_complete, degrees_complete
+        try:
+            count = _budgeted_count(graph, pattern, table, config.count_budget)
+        except ReproError:
+            # Unknown count: neither artifact can claim completeness.
+            markov_complete = False
+            degrees_complete = False
+            return None
+        if count == 0.0:
+            return 0.0
+        counts[key] = count
+        if len(pattern) <= config.molp_h:
+            if table is not None:
+                degree_relations[key] = StatRelation.from_table(
+                    pattern, table, graph.num_vertices
+                )
+            else:
+                # The match table overflowed max_rows: the count is known
+                # but no degrees were extracted, so a graph-free catalog
+                # must not serve this pattern's miss as "empty".
+                degrees_complete = False
+        return count
+
+    for label in labels:
+        for pattern in (
+            QueryPattern([("v0", "v1", label)]),
+            QueryPattern([("v0", "v0", label)]),
+        ):
+            key = canonical_key(pattern)
+            if key in seen:
+                continue
+            seen.add(key)
+            table = start_table(graph, pattern.edges[0])
+            if record(pattern, key, table):
+                level.append((pattern, table))
+
+    size = 1
+    while size < h_enum and level:
+        next_level: list[tuple[QueryPattern, BindingTable | None]] = []
+        for pattern, table in level:
+            for edge in _candidate_edges(
+                pattern, table, labels, unique_src, unique_dst
+            ):
+                child = QueryPattern(pattern.edges + (edge,))
+                key = canonical_key(child)
+                if key in seen:
+                    continue
+                seen.add(key)
+                child_table: BindingTable | None = None
+                if table is not None:
+                    try:
+                        child_table = extend_by_edge(
+                            graph, table, edge, max_rows=config.max_rows
+                        )
+                    except PlanningError:
+                        child_table = None  # too big: count via the engine
+                if record(child, key, child_table):
+                    next_level.append((child, child_table))
+        level = next_level
+        size += 1
+    return _Enumeration(
+        counts=counts,
+        degree_relations=degree_relations,
+        enumerated=len(seen),
+        markov_complete=markov_complete,
+        degrees_complete=degrees_complete,
+    )
+
+
+def _needed_subpatterns(
+    workload: Sequence[QueryPattern], h_enum: int
+) -> dict[tuple, QueryPattern]:
+    """Canonical connected subpatterns (≤ ``h_enum`` atoms) of a workload."""
+    needed: dict[tuple, QueryPattern] = {}
+    for query in workload:
+        for subset in query.connected_edge_subsets(max_size=h_enum):
+            sub = query.subpattern(subset)
+            key = canonical_key(sub)
+            if key not in needed:
+                needed[key] = canonical_pattern(sub)
+    return needed
+
+
+def _enumerate_workload(
+    graph: LabeledDiGraph,
+    workload: Sequence[QueryPattern],
+    config: StatsBuildConfig,
+    skip: set[tuple] | None = None,
+) -> _Enumeration:
+    """Count each canonical subpattern the workload needs, exactly once."""
+    h_enum = max(config.h, config.molp_h)
+    needed = _needed_subpatterns(workload, h_enum)
+    counts: dict[tuple, float] = {}
+    degree_relations: dict[tuple, StatRelation] = {}
+    for key, pattern in needed.items():
+        if skip is not None and key in skip:
+            continue
+        table: BindingTable | None = None
+        if len(pattern) <= config.molp_h:
+            try:
+                table = materialise_table(graph, pattern, config.max_rows)
+            except PlanningError:
+                table = None
+        try:
+            count = _budgeted_count(graph, pattern, table, config.count_budget)
+        except ReproError:
+            continue
+        # Workload-directed artifacts are not complete, so zero counts
+        # are stored explicitly — a covered-but-empty pattern must not
+        # raise MissingStatisticError at serve time.
+        counts[key] = count
+        if table is not None and len(pattern) <= config.molp_h:
+            degree_relations[key] = StatRelation.from_table(
+                pattern, table, graph.num_vertices
+            )
+    return _Enumeration(
+        counts=counts,
+        degree_relations=degree_relations,
+        enumerated=len(needed),
+        markov_complete=False,
+        degrees_complete=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# Store assembly
+# ----------------------------------------------------------------------
+
+def _populate_markov(
+    markov: MarkovTable, enumeration: _Enumeration, h: int
+) -> None:
+    for key, count in enumeration.counts.items():
+        if len(key) <= h:
+            markov._cache[key] = count
+
+
+def _populate_degrees(
+    catalog: DegreeCatalog, enumeration: _Enumeration
+) -> None:
+    for key, relation in enumeration.degree_relations.items():
+        catalog._cache[key] = relation
+
+
+def _prime_from_workload(
+    graph: LabeledDiGraph,
+    markov: MarkovTable,
+    workload: Sequence[QueryPattern],
+    cycle_rates: CycleClosingRates | None,
+    entropy: EntropyCatalog | None,
+    h: int,
+) -> None:
+    """Populate walk-sampled rates / entropy weights one CEG per shape."""
+    primed: set[tuple] = set()
+    for query in workload:
+        key = canonical_key(query)
+        if key in primed:
+            continue
+        primed.add(key)
+        shape = canonical_pattern(query)
+        try:
+            if cycle_rates is not None and largest_cycle_length(shape) > h:
+                build_ceg_o(shape, markov, cycle_rates=cycle_rates)
+            if entropy is not None:
+                lowest_entropy_estimate(shape, markov, entropy)
+        except ReproError:
+            continue
+
+
+def build_statistics(
+    graph: LabeledDiGraph,
+    config: StatsBuildConfig | None = None,
+    workload: Sequence[QueryPattern] | None = None,
+    dataset_name: str = "",
+) -> StatisticsStore:
+    """Bulk-build a :class:`StatisticsStore` for ``graph``.
+
+    Without a ``workload`` the build enumerates every connected pattern
+    up to ``max(h, molp_h)`` atoms over the label set (a *complete*
+    artifact: misses are provably empty); with one it builds exactly the
+    statistics the workload's queries can touch (the paper's §6 setup).
+    """
+    config = config or StatsBuildConfig()
+    started = time.perf_counter()
+    if workload is None:
+        enumeration = _enumerate_full(graph, config)
+    else:
+        enumeration = _enumerate_workload(graph, workload, config)
+
+    markov = MarkovTable(
+        graph,
+        h=config.h,
+        count_budget=config.count_budget,
+        labels=graph.labels,
+        complete=enumeration.markov_complete,
+    )
+    _populate_markov(markov, enumeration, config.h)
+    degrees = DegreeCatalog(
+        graph,
+        h=config.molp_h,
+        max_rows=config.max_rows,
+        complete=enumeration.degrees_complete,
+    )
+    _populate_degrees(degrees, enumeration)
+
+    rates = (
+        CycleClosingRates(
+            graph, seed=config.cycle_seed, samples=config.cycle_samples
+        )
+        if config.cycle_rates
+        else None
+    )
+    entropy = (
+        EntropyCatalog(graph, max_rows=config.max_rows)
+        if config.entropy
+        else None
+    )
+    if workload is not None and (rates is not None or entropy is not None):
+        _prime_from_workload(graph, markov, workload, rates, entropy, config.h)
+
+    characteristic_sets = None
+    sumrdf = None
+    if config.baselines:
+        characteristic_sets = CharacteristicSetsEstimator(graph)
+        sumrdf = SumRdfEstimator(
+            graph, num_buckets=config.sumrdf_buckets, seed=config.sumrdf_seed
+        )
+
+    manifest = StoreManifest(
+        dataset_fingerprint=dataset_fingerprint(graph),
+        dataset_name=dataset_name,
+        graph_summary=graph.summary(),
+        h=config.h,
+        molp_h=config.molp_h,
+        complete=enumeration.markov_complete and enumeration.degrees_complete,
+        build_config=dict(
+            config.as_dict(),
+            mode="full" if workload is None else "workload",
+            enumerated_patterns=enumeration.enumerated,
+            build_seconds=round(time.perf_counter() - started, 6),
+        ),
+    )
+    return StatisticsStore(
+        manifest=manifest,
+        markov=markov,
+        degrees=degrees,
+        characteristic_sets=characteristic_sets,
+        sumrdf=sumrdf,
+        cycle_rates=rates,
+        entropy=entropy,
+        graph=graph,
+    )
+
+
+def ensure_baselines(
+    store: StatisticsStore,
+    graph: LabeledDiGraph,
+    sumrdf_buckets: int = 64,
+    sumrdf_seed: int = 0,
+) -> StatisticsStore:
+    """Build the CS / SumRDF summaries of a store that skipped them.
+
+    Stores built with ``baselines=False`` (the figure drivers' default —
+    only Figure 13 reads the baselines) get them on first demand.
+    """
+    if store.characteristic_sets is None:
+        store.characteristic_sets = CharacteristicSetsEstimator(graph)
+    if store.sumrdf is None:
+        store.sumrdf = SumRdfEstimator(
+            graph, num_buckets=sumrdf_buckets, seed=sumrdf_seed
+        )
+    return store
+
+
+def extend_statistics(
+    store: StatisticsStore,
+    graph: LabeledDiGraph,
+    workload: Sequence[QueryPattern],
+) -> StatisticsStore:
+    """Add the statistics a further workload needs to an existing store.
+
+    Used by the experiment drivers to share one store per dataset across
+    figures: canonical shapes already counted are skipped, new ones are
+    counted once through the shared bulk path.
+    """
+    config = StatsBuildConfig(
+        h=store.markov.h,
+        molp_h=store.degrees.h,
+        max_rows=store.degrees.max_rows,
+        count_budget=store.markov.count_budget,
+    )
+    enumeration = _enumerate_workload(
+        graph,
+        workload,
+        config,
+        # Markov keys cover sizes <= h; degree keys additionally cover
+        # h < size <= molp_h patterns that have no Markov entry.
+        skip=set(store.markov._cache) | set(store.degrees._cache),
+    )
+    _populate_markov(store.markov, enumeration, config.h)
+    for key, relation in enumeration.degree_relations.items():
+        store.degrees._cache.setdefault(key, relation)
+    if store.cycle_rates is not None or store.entropy is not None:
+        _prime_from_workload(
+            graph,
+            store.markov,
+            workload,
+            store.cycle_rates,
+            store.entropy,
+            config.h,
+        )
+    return store

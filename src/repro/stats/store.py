@@ -1,0 +1,223 @@
+"""The :class:`StatisticsStore` facade: one object, every summary.
+
+A store bundles everything the estimation plane reads — Markov table,
+MOLP degree catalog, optional cycle-closing rates and entropy weights,
+plus the Characteristic Sets and SumRDF baseline summaries — behind a
+single save/load surface.  The build plane produces it
+(:func:`repro.stats.build.build_statistics`), :meth:`StatisticsStore.save`
+writes one versioned artifact directory, and
+:meth:`StatisticsStore.load` rebuilds it at service startup — with or
+without the base graph.  A store loaded without a graph serves
+estimates from its artifacts alone: no ``count_pattern`` call, no match
+-table materialisation, no base-graph scan can happen after startup.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.baselines.characteristic_sets import CharacteristicSetsEstimator
+from repro.baselines.sumrdf import SumRdfEstimator
+from repro.catalog.cycle_rates import CycleClosingRates
+from repro.catalog.degrees import DegreeCatalog
+from repro.catalog.entropy import EntropyCatalog
+from repro.catalog.markov import MarkovTable
+from repro.errors import DatasetError
+from repro.graph.digraph import LabeledDiGraph
+from repro.stats.artifact import (
+    CATALOG_FILES,
+    MANIFEST_FILE,
+    StoreManifest,
+    dataset_fingerprint,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.session import EstimationSession
+
+__all__ = ["StatisticsStore", "inspect_artifact"]
+
+
+@dataclass
+class StatisticsStore:
+    """Every summary one dataset's estimator suite serves from."""
+
+    manifest: StoreManifest
+    markov: MarkovTable
+    degrees: DegreeCatalog
+    characteristic_sets: CharacteristicSetsEstimator | None = None
+    sumrdf: SumRdfEstimator | None = None
+    cycle_rates: CycleClosingRates | None = None
+    entropy: EntropyCatalog | None = None
+    graph: LabeledDiGraph | None = None
+
+    @property
+    def graph_free(self) -> bool:
+        """Whether serving can touch a base graph at all."""
+        return self.graph is None
+
+    @property
+    def h(self) -> int:
+        """Markov-table size the optimistic estimators use."""
+        return self.markov.h
+
+    @property
+    def molp_h(self) -> int:
+        """Join-statistics size of the MOLP degree catalog."""
+        return self.degrees.h
+
+    def session(self, **kwargs) -> "EstimationSession":
+        """An :class:`EstimationSession` serving from this store."""
+        from repro.service.session import EstimationSession
+
+        return EstimationSession(self.graph, store=self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Write the versioned artifact directory; returns its path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        catalogs = ["markov", "degrees"]
+        _write_json(directory / CATALOG_FILES["markov"], self.markov.to_artifact())
+        _write_json(
+            directory / CATALOG_FILES["degrees"], self.degrees.to_artifact()
+        )
+        if self.characteristic_sets is not None:
+            catalogs.append("characteristic_sets")
+            _write_json(
+                directory / CATALOG_FILES["characteristic_sets"],
+                self.characteristic_sets.to_artifact(),
+            )
+        if self.sumrdf is not None:
+            catalogs.append("sumrdf")
+            np.savez_compressed(
+                directory / CATALOG_FILES["sumrdf"], **self.sumrdf.to_artifact()
+            )
+        if self.cycle_rates is not None:
+            catalogs.append("cycle_rates")
+            _write_json(
+                directory / CATALOG_FILES["cycle_rates"],
+                self.cycle_rates.to_artifact(),
+            )
+        if self.entropy is not None:
+            catalogs.append("entropy")
+            _write_json(
+                directory / CATALOG_FILES["entropy"], self.entropy.to_artifact()
+            )
+        self.manifest.catalogs = sorted(catalogs)
+        self.manifest.save(directory)
+        return directory
+
+    @classmethod
+    def load(
+        cls,
+        directory: str | Path,
+        graph: LabeledDiGraph | None = None,
+        max_rows: int | None = 5_000_000,
+    ) -> "StatisticsStore":
+        """Rebuild a store from :meth:`save` output.
+
+        Passing the graph re-attaches the lazy fallback paths *and*
+        verifies the artifact was built from that exact dataset (its
+        fingerprint must match); without one the store is strictly
+        graph-free.
+        """
+        directory = Path(directory)
+        manifest = StoreManifest.load(directory)
+        if graph is not None:
+            fingerprint = dataset_fingerprint(graph)
+            if fingerprint != manifest.dataset_fingerprint:
+                raise DatasetError(
+                    f"statistics artifact {directory} was built from a "
+                    f"different dataset (fingerprint "
+                    f"{manifest.dataset_fingerprint}, graph {fingerprint})"
+                )
+        markov = MarkovTable.from_artifact(
+            _read_json(directory / CATALOG_FILES["markov"]), graph
+        )
+        degrees = DegreeCatalog.from_artifact(
+            _read_json(directory / CATALOG_FILES["degrees"]),
+            graph,
+            max_rows=max_rows,
+        )
+        characteristic_sets = None
+        if "characteristic_sets" in manifest.catalogs:
+            characteristic_sets = CharacteristicSetsEstimator.from_artifact(
+                _read_json(directory / CATALOG_FILES["characteristic_sets"])
+            )
+        sumrdf = None
+        if "sumrdf" in manifest.catalogs:
+            with np.load(directory / CATALOG_FILES["sumrdf"]) as data:
+                sumrdf = SumRdfEstimator.from_artifact(dict(data.items()))
+        cycle_rates = None
+        if "cycle_rates" in manifest.catalogs:
+            cycle_rates = CycleClosingRates.from_artifact(
+                _read_json(directory / CATALOG_FILES["cycle_rates"]), graph
+            )
+        entropy = None
+        if "entropy" in manifest.catalogs:
+            entropy = EntropyCatalog.from_artifact(
+                _read_json(directory / CATALOG_FILES["entropy"]),
+                graph,
+                max_rows=max_rows,
+            )
+        return cls(
+            manifest=manifest,
+            markov=markov,
+            degrees=degrees,
+            characteristic_sets=characteristic_sets,
+            sumrdf=sumrdf,
+            cycle_rates=cycle_rates,
+            entropy=entropy,
+            graph=graph,
+        )
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _read_json(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise DatasetError(f"statistics artifact is missing {path.name}: {error}")
+    except ValueError as error:
+        raise DatasetError(f"corrupt statistics artifact {path}: {error}")
+    if not isinstance(payload, dict):
+        raise DatasetError(f"corrupt statistics artifact {path}")
+    return payload
+
+
+def inspect_artifact(directory: str | Path) -> dict:
+    """Manifest plus per-catalog entry counts and on-disk sizes."""
+    directory = Path(directory)
+    manifest = StoreManifest.load(directory)
+    report: dict = {"directory": str(directory), **manifest.to_payload()}
+    files: dict[str, dict] = {}
+    total = 0
+    for name in [MANIFEST_FILE] + [
+        CATALOG_FILES[catalog] for catalog in manifest.catalogs
+    ]:
+        path = directory / name
+        if not path.exists():
+            files[name] = {"missing": True}
+            continue
+        size = path.stat().st_size
+        total += size
+        entry: dict = {"bytes": size}
+        if name.endswith(".json") and name != MANIFEST_FILE:
+            payload = _read_json(path)
+            for field in ("entries", "relations", "sets"):
+                if field in payload:
+                    entry["entries"] = len(payload[field])
+        files[name] = entry
+    report["files"] = files
+    report["total_bytes"] = total
+    return report

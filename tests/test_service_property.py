@@ -1,4 +1,4 @@
-"""Property: caching is bitwise-invisible.
+"""Property: caching — and persistence — are bitwise-invisible.
 
 For randomized workloads over :mod:`repro.graph.generators`, every
 estimate an :class:`EstimationSession` batch produces must be *exactly*
@@ -6,7 +6,9 @@ estimate an :class:`EstimationSession` batch produces must be *exactly*
 :class:`OptimisticEstimator` / :class:`MolpEstimator` computes for the
 same pattern — including renamed duplicates, which the session serves
 from one shared cache entry while the fresh estimators recompute from
-scratch.
+scratch.  The same holds for a session backed by a bulk-built,
+saved-and-reloaded (graph-free) :class:`~repro.stats.StatisticsStore`:
+offline statistics never change a served value.
 """
 
 import random
@@ -20,9 +22,11 @@ from repro.datasets.workloads import acyclic_workload, cyclic_workload
 from repro.graph.generators import generate_graph
 from repro.service import EstimationSession
 from repro.service.session import OPTIMISTIC_NAMES, EstimatorSpec
+from repro.stats import StatisticsStore, StatsBuildConfig, build_statistics
 
 _GRAPHS = {}
 _POOLS = {}
+_STORES = {}
 
 
 def _graph(seed: int):
@@ -51,6 +55,19 @@ def _renamed(pattern, rng: random.Random):
     names = list(pattern.variables)
     fresh = [f"w{rng.randrange(10_000)}_{i}" for i in range(len(names))]
     return pattern.rename(dict(zip(names, fresh)))
+
+
+def _loaded_store(seed: int, tmp_path_factory) -> StatisticsStore:
+    """A graph-free store round-tripped through disk, one per graph."""
+    if seed not in _STORES:
+        graph = _graph(seed)
+        store = build_statistics(
+            graph, StatsBuildConfig(h=2), workload=_pattern_pool(seed)
+        )
+        directory = tmp_path_factory.mktemp(f"store{seed}")
+        store.save(directory)
+        _STORES[seed] = StatisticsStore.load(directory)
+    return _STORES[seed]
 
 
 @settings(max_examples=12, deadline=None)
@@ -92,6 +109,49 @@ def test_batch_equals_fresh_estimators(graph_seed, rename_seed, subset,
             assert served == fresh, (
                 f"cached {spec.name} estimate for query {index} drifted: "
                 f"{served!r} != fresh {fresh!r}"
+            )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    graph_seed=st.sampled_from([3, 17]),
+    rename_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    subset=st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                    max_size=5),
+)
+def test_loaded_store_session_equals_fresh_estimators(
+    graph_seed, rename_seed, subset, tmp_path_factory
+):
+    """A graph-free loaded store serves exactly the fresh values."""
+    graph = _graph(graph_seed)
+    pool = _pattern_pool(graph_seed)
+    store = _loaded_store(graph_seed, tmp_path_factory)
+    assert store.graph_free
+    rng = random.Random(rename_seed)
+    patterns = []
+    for pick in subset:
+        pattern = pool[pick % len(pool)]
+        patterns.append(pattern)
+        patterns.append(_renamed(pattern, rng))
+    specs = [EstimatorSpec.from_name(name) for name in OPTIMISTIC_NAMES]
+    specs.append(EstimatorSpec.from_name("MOLP"))
+
+    batch = store.session().estimate_batch(patterns, specs=specs)
+    assert batch.ok
+
+    markov = MarkovTable(graph, h=2)
+    for index, pattern in enumerate(patterns):
+        for spec in specs:
+            served = batch.item(index, spec.name).estimate
+            if spec.kind == "molp":
+                fresh = MolpEstimator(graph, h=2).estimate(pattern)
+            else:
+                fresh = OptimisticEstimator(
+                    markov, spec.path_length, spec.aggregator
+                ).estimate(pattern)
+            assert served == fresh, (
+                f"store-served {spec.name} estimate for query {index} "
+                f"drifted: {served!r} != fresh {fresh!r}"
             )
 
 

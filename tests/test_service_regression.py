@@ -86,6 +86,26 @@ def test_molp_bound_frozen(running_graph, q5f, h):
 
 
 @pytest.mark.parametrize("h", sorted(GOLDEN_NINE))
+def test_loaded_store_matches_golden(running_graph, q5f, h, tmp_path):
+    """A bulk-built, saved, reloaded (graph-free) store serves the
+    frozen values — persistence is pinned to history like the caches."""
+    from repro.stats import StatisticsStore, StatsBuildConfig, build_statistics
+
+    store = build_statistics(running_graph, StatsBuildConfig(h=h, molp_h=2))
+    directory = tmp_path / "artifact"
+    store.save(directory)
+    loaded = StatisticsStore.load(directory)
+    assert loaded.graph_free
+    batch = loaded.session().estimate_batch(
+        [q5f], specs=sorted(GOLDEN_NINE[h]) + ["MOLP"]
+    )
+    assert batch.ok
+    for name in sorted(GOLDEN_NINE[h]):
+        assert batch.item(0, name).estimate == GOLDEN_NINE[h][name], name
+    assert batch.item(0, "MOLP").estimate == GOLDEN_MOLP[2]
+
+
+@pytest.mark.parametrize("h", sorted(GOLDEN_NINE))
 def test_service_batch_matches_golden(running_graph, q5f, h):
     """The cached batch path reproduces the frozen values exactly."""
     session = EstimationSession(running_graph, h=h, molp_h=2)
