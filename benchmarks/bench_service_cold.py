@@ -1,0 +1,136 @@
+"""Cold-shape estimation throughput: optimized stack vs the pre-PR one.
+
+Every query in the fig9 template set (the Acyclic workload, sizes 6-8)
+is a distinct canonical shape, so the canonical-shape caches never hit —
+this measures the cold path the execution-engine rewrite targets: CEG
+construction (bitmask successor generation), the path DP (compiled CSR
+DP vs dict DP), MOLP (bitmask Dijkstra + shared degree caches vs
+frozenset Dijkstra + per-view recomputation) and lazy Markov counting
+(vectorized frames vs Python backtracking).
+
+The baseline is the faithful pre-PR replica in ``_legacy_reference``;
+all estimates must match bit for bit.  Acceptance bar: >= 2x cold
+throughput (>= 1x in ``--quick`` mode).
+
+Runs standalone: ``python benchmarks/bench_service_cold.py [--quick]
+[--json PATH]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _legacy_reference import legacy_serving  # noqa: E402
+
+from repro.datasets import acyclic_workload, load_dataset  # noqa: E402
+from repro.service import EstimationSession  # noqa: E402
+
+SPECS = tuple(
+    f"{'all-hops' if hop == 'all' else hop + '-hop'}-{aggr}"
+    for hop in ("max", "min", "all")
+    for aggr in ("max", "min", "avg")
+) + ("MOLP",)
+
+
+def _fig9_patterns(graph, per_template: int, seed: int = 7):
+    workload = acyclic_workload(
+        graph, per_template=per_template, seed=seed, sizes=(6, 7, 8)
+    )
+    return [query.pattern for query in workload]
+
+
+def run(quick: bool = False) -> dict:
+    scale = 0.06 if quick else 0.12
+    per_template = 1 if quick else 3
+    graph = load_dataset("hetionet", scale)
+    patterns = _fig9_patterns(graph, per_template)
+    cells = len(patterns) * len(SPECS)
+
+    with legacy_serving():
+        baseline = EstimationSession(
+            graph, h=3, molp_h=2, max_workers=1, count_impl="python"
+        )
+        started = time.perf_counter()
+        legacy_batch = baseline.estimate_batch(patterns, specs=SPECS)
+        legacy_seconds = time.perf_counter() - started
+    assert legacy_batch.ok, [item.error for item in legacy_batch.failures]
+
+    session = EstimationSession(graph, h=3, molp_h=2, max_workers=1)
+    started = time.perf_counter()
+    batch = session.estimate_batch(patterns, specs=SPECS)
+    new_seconds = time.perf_counter() - started
+    assert batch.ok, [item.error for item in batch.failures]
+
+    for old_item, new_item in zip(legacy_batch.items, batch.items):
+        assert old_item.estimator == new_item.estimator
+        assert new_item.estimate == old_item.estimate, (
+            f"query {new_item.index} {new_item.estimator}: optimized "
+            f"{new_item.estimate!r} != legacy {old_item.estimate!r} — "
+            "the stacks diverged"
+        )
+
+    speedup = legacy_seconds / new_seconds
+    bar = 1.0 if quick else 2.0
+    return {
+        "benchmark": "service_cold",
+        "mode": "quick" if quick else "full",
+        "scale": scale,
+        "queries": len(patterns),
+        "cells": cells,
+        "legacy_seconds": legacy_seconds,
+        "optimized_seconds": new_seconds,
+        "legacy_cells_per_second": cells / legacy_seconds,
+        "optimized_cells_per_second": cells / new_seconds,
+        "speedup": speedup,
+        "speedup_bar": bar,
+        "ok": speedup >= bar,
+    }
+
+
+def render(report: dict) -> str:
+    return "\n".join(
+        [
+            "Cold-shape estimate_batch throughput (fig9 template set, "
+            f"mode={report['mode']})",
+            f"  queries x estimators : {report['cells']}",
+            f"  legacy (pre-PR)      : "
+            f"{report['legacy_cells_per_second']:10.1f} estimates/sec",
+            f"  optimized            : "
+            f"{report['optimized_cells_per_second']:10.1f} estimates/sec",
+            f"  cold speedup         : {report['speedup']:10.2f}x "
+            f"(bar: >= {report['speedup_bar']:.0f}x)",
+            "  all estimates bit-identical between the two stacks",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument("--json", type=Path, default=None)
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    print(render(report))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2), encoding="utf-8")
+        print(f"wrote {args.json}")
+    if not report["ok"]:
+        print(
+            f"FAIL: cold speedup {report['speedup']:.2f}x below the "
+            f"{report['speedup_bar']:.0f}x bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Run the perf-trajectory benchmarks and persist machine-readable results.
+
+``python benchmarks/run_all.py --json`` runs the execution-engine
+benchmark (vectorized vs legacy cyclic counting) and the service
+benchmark (cold-shape ``estimate_batch`` throughput vs the pre-PR
+pipeline) and writes ``BENCH_engine.json`` / ``BENCH_service.json``
+next to this script — the perf baseline future PRs diff against.
+Re-run with ``--json`` after perf-relevant changes and commit the
+updated files so the trajectory stays in history.
+
+``--quick`` switches both benchmarks to their CI-smoke configuration
+(smaller scale, "not slower" bars).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+sys.path.insert(0, str(HERE))
+
+import bench_engine_vectorized  # noqa: E402
+import bench_service_cold  # noqa: E402
+
+BENCHES = (
+    ("BENCH_engine.json", bench_engine_vectorized),
+    ("BENCH_service.json", bench_service_cold),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write BENCH_engine.json / BENCH_service.json",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=HERE,
+        help="directory for the JSON artifacts (default: benchmarks/)",
+    )
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for filename, module in BENCHES:
+        report = module.run(quick=args.quick)
+        report["python"] = platform.python_version()
+        report["machine"] = platform.machine()
+        print(module.render(report))
+        print()
+        if not report["ok"]:
+            failed = True
+        if args.json:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            path = args.out_dir / filename
+            path.write_text(
+                json.dumps(report, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"wrote {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

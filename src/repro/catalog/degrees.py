@@ -167,6 +167,10 @@ class StatRelation:
         self._rows: np.ndarray | None
         self._cardinality: float
         self._empty = False
+        # Renamed views delegate deg() through (base relation, view-var
+        # -> base-var mapping) so all isomorphic uses share one degree
+        # cache; see DegreeCatalog._renamed_view.
+        self._base: tuple["StatRelation", dict[str, str]] | None = None
         self._materialise(graph, max_rows)
 
     def _materialise(self, graph: LabeledDiGraph, max_rows: int | None) -> None:
@@ -190,6 +194,18 @@ class StatRelation:
         key = (x, y)
         cached = self._degrees.get(key)
         if cached is None:
+            if self._base is not None:
+                # Degree values are renaming-invariant, so delegating to
+                # the canonical base relation reads (and fills) the one
+                # shared cache — bit-identical to recomputing from the
+                # shared match table.
+                base, to_base = self._base
+                cached = base.deg(
+                    frozenset(to_base[v] for v in x),
+                    frozenset(to_base[v] for v in y),
+                )
+                self._degrees[key] = cached
+                return cached
             if self._rows is None:
                 if self._empty:
                     # A known-empty relation: every degree is 0, exactly
@@ -273,6 +289,7 @@ class StatRelation:
         relation._cardinality = float(cardinality)
         relation._empty = cardinality == 0.0
         relation._degrees = degrees
+        relation._base = None
         return relation
 
     @classmethod
@@ -377,6 +394,7 @@ class DegreeCatalog:
         view._rows = relation._rows
         view._cardinality = relation._cardinality
         view._empty = relation._empty
+        view._base = (relation, {v: k for k, v in mapping.items()})
         if relation._rows is None:
             view._degrees = {
                 (

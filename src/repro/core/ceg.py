@@ -47,6 +47,7 @@ class CEG:
     target: NodeKey
     _out: dict[NodeKey, list[CEGEdge]] = field(default_factory=dict)
     _rank: dict[NodeKey, int] = field(default_factory=dict)
+    _compiled: object = field(default=None, repr=False, compare=False)
 
     def add_node(self, key: NodeKey, rank: int) -> None:
         """Register a vertex with its topological rank (sub-query size)."""
@@ -55,6 +56,7 @@ class CEG:
             raise ValueError(f"node {key!r} re-registered with rank {rank}")
         self._rank[key] = rank
         self._out.setdefault(key, [])
+        self._compiled = None
 
     def add_edge(
         self,
@@ -74,6 +76,20 @@ class CEG:
         self._out[source].append(
             CEGEdge(source, target, float(rate), description, payload)
         )
+        self._compiled = None
+
+    def compiled(self):
+        """The array-compiled form of this CEG (cached until mutated).
+
+        See :func:`repro.core.compiled.compile_ceg`; mutating the CEG
+        through :meth:`add_node` / :meth:`add_edge` /
+        :meth:`prune_unreachable` drops the cache.
+        """
+        if self._compiled is None:
+            from repro.core.compiled import compile_ceg
+
+            self._compiled = compile_ceg(self)
+        return self._compiled
 
     @property
     def nodes(self) -> list[NodeKey]:
@@ -131,3 +147,4 @@ class CEG:
             for k, edges in self._out.items()
             if k in keep
         }
+        self._compiled = None

@@ -76,55 +76,92 @@ def molp_min_path(
 
     Runs a lazy Dijkstra over attribute subsets with multiplicative
     weights (all rates ≥ 1 once empty relations are ruled out, so the
-    product order is monotone).
+    product order is monotone).  Subsets are int bitmasks over the
+    query's sorted attributes — successor generation is bit arithmetic
+    — with the same move enumeration and relaxation order as the
+    frozenset implementation, so bound and path are unchanged.
     """
     relations = catalog.stat_relations(query)
     if any(relation.cardinality == 0 for relation in relations):
         return 0.0, []
-    moves = _relation_moves(relations)
-    all_attrs = frozenset(query.variables)
-    start: frozenset[str] = frozenset()
-    dist: dict[frozenset[str], float] = {start: 1.0}
-    via: dict[frozenset[str], MolpEdge] = {}
+    attrs = tuple(sorted(query.variables))
+    bit_of = {var: i for i, var in enumerate(attrs)}
+    frozen_cache: dict[int, frozenset[str]] = {}
+
+    def frozen(mask: int) -> frozenset[str]:
+        cached = frozen_cache.get(mask)
+        if cached is None:
+            cached = frozenset(
+                attrs[i] for i in range(len(attrs)) if mask >> i & 1
+            )
+            frozen_cache[mask] = cached
+        return cached
+
+    # One (y_mask, rate-cache, relation, y) tuple per legacy move, in
+    # the legacy enumeration order.  deg(X, Y) values are memoised per
+    # conditioning mask X: the Dijkstra relaxes every settled node
+    # against every move, so the same (X, Y) pair recurs constantly and
+    # the inlined int-keyed cache replaces frozenset hashing inside the
+    # degree tables on the hot loop.
+    moves = [
+        (_mask_of(y, bit_of), {}, relation, y)
+        for relation, y in _relation_moves(relations)
+    ]
+    all_mask = (1 << len(attrs)) - 1
+    dist: dict[int, float] = {0: 1.0}
+    via: dict[int, tuple[int, StatRelation, frozenset[str], int, float]] = {}
     counter = 0
-    heap: list[tuple[float, int, frozenset[str]]] = [(1.0, counter, start)]
-    settled: set[frozenset[str]] = set()
+    heap: list[tuple[float, int, int]] = [(1.0, counter, 0)]
+    settled: set[int] = set()
+    infinity = float("inf")
     while heap:
         weight, _, node = heapq.heappop(heap)
         if node in settled:
             continue
         settled.add(node)
-        if node == all_attrs:
+        if node == all_mask:
             break
-        for relation, y in moves:
-            if y <= node:
+        for y_mask, rates, relation, y in moves:
+            if not y_mask & ~node:
                 continue
-            x = node & y
-            rate = relation.deg(x, y)
+            x_mask = node & y_mask
+            rate = rates.get(x_mask)
+            if rate is None:
+                rate = relation.deg(frozen(x_mask), y)
+                rates[x_mask] = rate
             candidate = weight * rate
-            target = node | y
-            if candidate < dist.get(target, float("inf")):
+            target = node | y_mask
+            if candidate < dist.get(target, infinity):
                 dist[target] = candidate
-                via[target] = MolpEdge(
-                    source_attrs=node,
-                    target_attrs=target,
-                    x=x,
-                    y=y,
-                    relation=relation.pattern,
-                    rate=rate,
-                )
+                via[target] = (node, relation, y, x_mask, rate)
                 counter += 1
                 heapq.heappush(heap, (candidate, counter, target))
-    if all_attrs not in dist:
+    if all_mask not in dist:
         raise EstimationError("CEG_M has no (∅, A) path for this query")
     path: list[MolpEdge] = []
-    node = all_attrs
-    while node != start:
-        edge = via[node]
-        path.append(edge)
-        node = edge.source_attrs
+    node = all_mask
+    while node != 0:
+        source, relation, y, x_mask, rate = via[node]
+        path.append(
+            MolpEdge(
+                source_attrs=frozen(source),
+                target_attrs=frozen(node),
+                x=frozen(x_mask),
+                y=y,
+                relation=relation.pattern,
+                rate=rate,
+            )
+        )
+        node = source
     path.reverse()
-    return dist[all_attrs], path
+    return dist[all_mask], path
+
+
+def _mask_of(variables: frozenset[str], bit_of: dict[str, int]) -> int:
+    mask = 0
+    for var in variables:
+        mask |= 1 << bit_of[var]
+    return mask
 
 
 def molp_bound(query: QueryPattern, catalog: DegreeCatalog) -> float:

@@ -21,6 +21,14 @@ Two rules from prior work shape the edge set:
 a cycle longer than ``h`` with the sampled cycle-closing probability
 ``P(E_{i-1} * E_{i+1} | E_i)`` (§4.3), falling back to the ``CEG_O``
 rate when the statistic is unavailable.
+
+Internally every atom subset is an int bitmask (bit ``i`` = atom ``i``),
+so successor generation is bit arithmetic instead of frozenset algebra;
+subsets are translated back to the frozenset vertex keys the rest of the
+library (and the compiled CEG) sees only when a vertex or edge is
+actually added.  The construction order — BFS stack, candidate order,
+edge insertion order — is exactly the frozenset implementation's, so the
+built CEG (and every estimate read off it) is unchanged bit for bit.
 """
 
 from __future__ import annotations
@@ -30,9 +38,80 @@ from repro.catalog.markov import MarkovTable
 from repro.core.ceg import CEG
 from repro.errors import EstimationError
 from repro.query.pattern import QueryPattern
-from repro.query.shape import cycle_completions, cycles
+from repro.query.shape import cycles
 
 __all__ = ["build_ceg_o", "build_ceg_ocr"]
+
+
+def _mask_of(indexes) -> int:
+    mask = 0
+    for index in indexes:
+        mask |= 1 << index
+    return mask
+
+
+def _bits(mask: int) -> list[int]:
+    """Set bit positions of ``mask``, ascending."""
+    result = []
+    while mask:
+        low = mask & -mask
+        result.append(low.bit_length() - 1)
+        mask ^= low
+    return result
+
+
+class _MaskContext:
+    """Per-build caches keyed by atom bitmask.
+
+    Subset cardinalities and connectivity checks are hit once per
+    (node, extension) pair, so memoising by mask cuts the dominant cost
+    (canonical-key computation in the Markov table) and skips all
+    frozenset churn on the hot path.
+    """
+
+    def __init__(self, query: QueryPattern, markov: MarkovTable):
+        self.query = query
+        self.markov = markov
+        # adjacent[i]: atoms sharing a variable with atom i (incl. i).
+        self.adjacent = [0] * len(query)
+        for var in query.variables:
+            incident = query.edges_at(var)
+            var_mask = _mask_of(incident)
+            for index in incident:
+                self.adjacent[index] |= var_mask
+        self._frozen: dict[int, frozenset[int]] = {}
+        self._cards: dict[int, float] = {}
+        self._connected: dict[int, bool] = {}
+
+    def frozen(self, mask: int) -> frozenset[int]:
+        cached = self._frozen.get(mask)
+        if cached is None:
+            cached = frozenset(_bits(mask))
+            self._frozen[mask] = cached
+        return cached
+
+    def cardinality(self, mask: int) -> float:
+        cached = self._cards.get(mask)
+        if cached is None:
+            cached = self.markov.cardinality(self.query.subpattern(_bits(mask)))
+            self._cards[mask] = cached
+        return cached
+
+    def connected(self, mask: int) -> bool:
+        cached = self._connected.get(mask)
+        if cached is None:
+            reach = mask & -mask
+            frontier = reach
+            while frontier:
+                grown = 0
+                for index in _bits(frontier):
+                    grown |= self.adjacent[index]
+                grown &= mask
+                frontier = grown & ~reach
+                reach |= grown
+            cached = reach == mask
+            self._connected[mask] = cached
+        return cached
 
 
 def build_ceg_o(
@@ -51,76 +130,52 @@ def build_ceg_o(
         raise EstimationError("CEG_O requires a connected query")
     h = markov.h
     size = min(h, len(query))
-    all_edges = frozenset(range(len(query)))
-    stored = [
-        subset
-        for subset in query.connected_edge_subsets(max_size=h)
-        if len(subset) == size or len(subset) < size
-    ]
-    by_size: dict[int, list[frozenset[int]]] = {}
-    for subset in stored:
-        by_size.setdefault(len(subset), []).append(subset)
-    query_cycles = cycles(query)
+    full_mask = (1 << len(query)) - 1
+    by_size: dict[int, list[int]] = {}
+    for subset in query.connected_edge_subsets(max_size=h):
+        if len(subset) <= size:
+            by_size.setdefault(len(subset), []).append(_mask_of(subset))
+    # (mask, length) per simple cycle, in cycles()' (length, atoms) order.
+    query_cycles = [(_mask_of(c), len(c)) for c in cycles(query)]
+    context = _MaskContext(query, markov)
 
-    # Per-query caches: subset cardinalities and connectivity checks are
-    # hit once per (node, extension) pair, so memoising by index set cuts
-    # the dominant cost (canonical-key computation in the Markov table).
-    card_cache: dict[frozenset[int], float] = {}
-    conn_cache: dict[frozenset[int], bool] = {}
-
-    def cardinality(subset: frozenset[int]) -> float:
-        cached = card_cache.get(subset)
-        if cached is None:
-            cached = markov.cardinality(query.subpattern(subset))
-            card_cache[subset] = cached
-        return cached
-
-    def connected(subset: frozenset[int]) -> bool:
-        cached = conn_cache.get(subset)
-        if cached is None:
-            cached = query.is_connected_subset(subset)
-            conn_cache[subset] = cached
-        return cached
-
-    ceg = CEG(source=frozenset(), target=all_edges)
+    ceg = CEG(source=frozenset(), target=context.frozen(full_mask))
     ceg.add_node(frozenset(), rank=0)
-    seen: set[frozenset[int]] = {frozenset()}
-    queue: list[frozenset[int]] = [frozenset()]
+    seen: set[int] = {0}
+    queue: list[int] = [0]
     while queue:
         node = queue.pop()
-        if node == all_edges:
+        if node == full_mask:
             continue
+        node_key = context.frozen(node)
         for successor, rate, note in _successors(
-            query, node, by_size, size, query_cycles,
-            cardinality, connected, cycle_rates, h,
-            size_h_rule, early_cycle_closing,
+            context, node, by_size, size, query_cycles,
+            cycle_rates, h, size_h_rule, early_cycle_closing,
         ):
             if successor not in seen:
                 seen.add(successor)
-                ceg.add_node(successor, rank=len(successor))
+                ceg.add_node(
+                    context.frozen(successor), rank=successor.bit_count()
+                )
                 queue.append(successor)
-            ceg.add_edge(node, successor, rate, note)
-    if all_edges not in seen:
+            ceg.add_edge(node_key, context.frozen(successor), rate, note)
+    if full_mask not in seen:
         raise EstimationError("CEG_O construction produced no complete path")
     return ceg
 
 
 def _successors(
-    query: QueryPattern,
-    node: frozenset[int],
-    by_size: dict[int, list[frozenset[int]]],
+    context: _MaskContext,
+    node: int,
+    by_size: dict[int, list[int]],
     size: int,
-    query_cycles: list[frozenset[int]],
-    cardinality,
-    connected,
+    query_cycles: list[tuple[int, int]],
     cycle_rates: CycleClosingRates | None,
     h: int,
     size_h_rule: bool = True,
     early_cycle_closing: bool = True,
-):
-    candidates = _raw_candidates(
-        query, node, by_size, size, cardinality, connected, size_h_rule
-    )
+) -> list[tuple[int, float, str]]:
+    candidates = _raw_candidates(context, node, by_size, size, size_h_rule)
     if cycle_rates is not None:
         # Must run before the early-cycle-closing filter: otherwise that
         # filter can leave only multi-atom closures, which would bypass
@@ -132,67 +187,42 @@ def _successors(
         candidates = _apply_early_cycle_closing(node, candidates, query_cycles)
     if cycle_rates is not None:
         candidates = _apply_cycle_rates(
-            query, node, candidates, cycle_rates, h
+            context, node, candidates, query_cycles, cycle_rates, h
         )
     return candidates
 
 
-def _drop_multi_atom_closures(
-    node: frozenset[int],
-    candidates: list[tuple[frozenset[int], float, str]],
-    query_cycles: list[frozenset[int]],
-    h: int,
-) -> list[tuple[frozenset[int], float, str]]:
-    """Remove extensions that complete a large cycle with > 1 new atom.
-
-    ``CEG_OCR`` prices cycle closure through the sampled probability of
-    the single closing atom; a several-atoms-at-once completion would
-    silently use the broken-open-path weights §4.3 warns about.  Falls
-    back to the unfiltered list if nothing survives (degenerate shapes).
-    """
-    large_cycles = [c for c in query_cycles if len(c) > h]
-    if not large_cycles:
-        return candidates
-    kept = [
-        candidate
-        for candidate in candidates
-        if not any(
-            cycle <= candidate[0] and len(cycle - node) > 1
-            for cycle in large_cycles
-        )
-    ]
-    return kept if kept else candidates
-
-
 def _raw_candidates(
-    query: QueryPattern,
-    node: frozenset[int],
-    by_size: dict[int, list[frozenset[int]]],
+    context: _MaskContext,
+    node: int,
+    by_size: dict[int, list[int]],
     size: int,
-    cardinality,
-    connected,
     size_h_rule: bool = True,
-) -> list[tuple[frozenset[int], float, str]]:
+) -> list[tuple[int, float, str]]:
     """(successor, rate, note) triples before rule filters."""
-    result: list[tuple[frozenset[int], float, str]] = []
+    result: list[tuple[int, float, str]] = []
     if not node:
         for extension in by_size.get(size, []):
             result.append(
-                (extension, cardinality(extension), f"|{sorted(extension)}|")
+                (
+                    extension,
+                    context.cardinality(extension),
+                    f"|{_bits(extension)}|",
+                )
             )
         return result
     for want in range(size, 0, -1):
         for extension in by_size.get(want, []):
-            difference = extension - node
+            difference = extension & ~node
             intersection = extension & node
             if not difference or not intersection:
                 continue
-            if not connected(intersection):
+            if not context.connected(intersection):
                 continue
-            numerator = cardinality(extension)
-            denominator = cardinality(intersection)
+            numerator = context.cardinality(extension)
+            denominator = context.cardinality(intersection)
             rate = numerator / denominator if denominator > 0 else 0.0
-            note = f"|{sorted(extension)}|/|{sorted(intersection)}|"
+            note = f"|{_bits(extension)}|/|{_bits(intersection)}|"
             result.append((node | difference, rate, note))
         if result and size_h_rule:
             # Size-h numerator rule: only fall back to smaller extension
@@ -201,27 +231,80 @@ def _raw_candidates(
     return result
 
 
+def _drop_multi_atom_closures(
+    node: int,
+    candidates: list[tuple[int, float, str]],
+    query_cycles: list[tuple[int, int]],
+    h: int,
+) -> list[tuple[int, float, str]]:
+    """Remove extensions that complete a large cycle with > 1 new atom.
+
+    ``CEG_OCR`` prices cycle closure through the sampled probability of
+    the single closing atom; a several-atoms-at-once completion would
+    silently use the broken-open-path weights §4.3 warns about.  Falls
+    back to the unfiltered list if nothing survives (degenerate shapes).
+    """
+    large_cycles = [c for c, length in query_cycles if length > h]
+    if not large_cycles:
+        return candidates
+    kept = [
+        candidate
+        for candidate in candidates
+        if not any(
+            cycle & ~candidate[0] == 0 and (cycle & ~node).bit_count() > 1
+            for cycle in large_cycles
+        )
+    ]
+    return kept if kept else candidates
+
+
 def _apply_early_cycle_closing(
-    node: frozenset[int],
-    candidates: list[tuple[frozenset[int], float, str]],
-    query_cycles: list[frozenset[int]],
-) -> list[tuple[frozenset[int], float, str]]:
-    def closes_cycle(successor: frozenset[int]) -> bool:
+    node: int,
+    candidates: list[tuple[int, float, str]],
+    query_cycles: list[tuple[int, int]],
+) -> list[tuple[int, float, str]]:
+    def closes_cycle(successor: int) -> bool:
         return any(
-            cycle <= successor and not cycle <= node for cycle in query_cycles
+            cycle & ~successor == 0 and cycle & ~node != 0
+            for cycle, _ in query_cycles
         )
 
     closing = [c for c in candidates if closes_cycle(c[0])]
     return closing if closing else candidates
 
 
+def _cycle_completions(
+    node: int, query_cycles: list[tuple[int, int]], h: int
+) -> dict[int, int]:
+    """Map each atom that would complete a large cycle to that cycle.
+
+    The bitmask twin of :func:`repro.query.shape.cycle_completions`:
+    ``{atom_index: cycle_mask}`` for every atom outside ``node`` that is
+    the single missing atom of some cycle longer than ``h`` (smallest
+    such cycle wins, ties by the cycle enumeration order).
+    """
+    result: dict[int, int] = {}
+    lengths: dict[int, int] = {}
+    for cycle, length in query_cycles:
+        if length <= h:
+            continue
+        missing = cycle & ~node
+        if missing and missing & (missing - 1) == 0:
+            index = missing.bit_length() - 1
+            if index not in result or length < lengths[index]:
+                result[index] = cycle
+                lengths[index] = length
+    return result
+
+
 def _apply_cycle_rates(
-    query: QueryPattern,
-    node: frozenset[int],
-    candidates: list[tuple[frozenset[int], float, str]],
+    context: _MaskContext,
+    node: int,
+    candidates: list[tuple[int, float, str]],
+    query_cycles: list[tuple[int, int]],
     cycle_rates: CycleClosingRates,
     h: int,
-) -> list[tuple[frozenset[int], float, str]]:
+) -> list[tuple[int, float, str]]:
     """Swap closing-edge rates for sampled closing probabilities.
 
     When a single new atom would complete a large cycle, ``CEG_OCR``
@@ -229,21 +312,22 @@ def _apply_cycle_rates(
     weights); other candidates would silently estimate the broken-open
     pattern that §4.3 shows overestimates.
     """
-    completions = cycle_completions(query, node, h)
+    completions = _cycle_completions(node, query_cycles, h)
     if not completions:
         return candidates
-    replaced: list[tuple[frozenset[int], float, str]] = []
-    seen_closures: set[frozenset[int]] = set()
+    completion_mask = _mask_of(completions)
+    replaced: list[tuple[int, float, str]] = []
+    seen_closures: set[int] = set()
     for successor, rate, note in candidates:
-        difference = successor - node
-        if len(difference) == 1:
-            (atom,) = tuple(difference)
+        difference = successor & ~node
+        if difference and difference & (difference - 1) == 0:
+            atom = difference.bit_length() - 1
             if atom in completions:
                 if successor in seen_closures:
                     continue
                 seen_closures.add(successor)
                 probability = cycle_rates.rate(
-                    query, completions[atom], atom
+                    context.query, context.frozen(completions[atom]), atom
                 )
                 if probability is not None:
                     replaced.append(
@@ -254,7 +338,7 @@ def _apply_cycle_rates(
                 continue
         replaced.append((successor, rate, note))
     only_closing = [
-        c for c in replaced if any(a in completions for a in (c[0] - node))
+        c for c in replaced if (c[0] & ~node) & completion_mask
     ]
     return only_closing if only_closing else replaced
 

@@ -8,6 +8,14 @@ for one query), a single dynamic program over the DAG keyed by
 (vertex, hop-count) tracks the count, sum, minimum and maximum of path
 products, which is exactly enough to answer all nine estimators.
 
+Two interchangeable DPs compute the same table:
+:func:`hop_statistics` is the dict-of-dicts reference implementation;
+:func:`hop_statistics_compiled` runs one bottom-up NumPy pass per hop
+level over the array-compiled CEG (:mod:`repro.core.compiled`), folding
+every edge's contribution with sequential ufunc accumulation in the
+reference order, so its sums are bit-identical — the serving default
+(:func:`estimate_from_ceg`) uses it.
+
 The P* oracle (§6.2.3) needs the full multiset of *distinct* path
 estimates; :func:`distinct_estimates` runs a second DP over value sets
 with a configurable cap.
@@ -17,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.ceg import CEG
 from repro.errors import EstimationError
 
@@ -25,6 +35,7 @@ __all__ = [
     "PATH_LENGTH_CHOICES",
     "AGGREGATOR_CHOICES",
     "hop_statistics",
+    "hop_statistics_compiled",
     "estimate_from_ceg",
     "distinct_estimates",
     "min_weight_path",
@@ -71,19 +82,81 @@ def hop_statistics(ceg: CEG) -> dict[int, HopStats]:
     return table.get(ceg.target, {})
 
 
+def hop_statistics_compiled(compiled) -> dict[int, HopStats]:
+    """Per-hop-count path statistics via the array-compiled CEG.
+
+    One hop level at a time: ``stats_{k+1}[v]`` folds every in-edge
+    contribution ``stats_k[u] ∘ rate`` with unbuffered ufunc
+    accumulation (``np.add.at`` applies repeated indexes sequentially in
+    array order).  The compiled in-edge order is (target, source
+    topological position, insertion order) — the same per-vertex
+    ordering :func:`hop_statistics` uses — so every float sum reproduces
+    the reference DP bit for bit.
+    """
+    n = compiled.num_nodes
+    count = np.zeros(n)
+    total = np.zeros(n)
+    minimum = np.full(n, np.inf)
+    maximum = np.full(n, -np.inf)
+    count[compiled.source] = 1.0
+    total[compiled.source] = 1.0
+    minimum[compiled.source] = 1.0
+    maximum[compiled.source] = 1.0
+    target = compiled.target
+    result: dict[int, HopStats] = {}
+    if target == compiled.source:
+        result[0] = HopStats(count=1.0, total=1.0, minimum=1.0, maximum=1.0)
+    sources = compiled.in_source
+    targets = compiled.in_target
+    rates = compiled.in_rate
+    hops = 0
+    while hops < n:
+        live = count[sources] > 0.0
+        if not live.any():
+            break
+        src = sources[live]
+        tgt = targets[live]
+        rate = rates[live]
+        next_count = np.zeros(n)
+        next_total = np.zeros(n)
+        next_min = np.full(n, np.inf)
+        next_max = np.full(n, -np.inf)
+        np.add.at(next_count, tgt, count[src])
+        np.add.at(next_total, tgt, total[src] * rate)
+        np.minimum.at(next_min, tgt, minimum[src] * rate)
+        np.maximum.at(next_max, tgt, maximum[src] * rate)
+        count, total, minimum, maximum = (
+            next_count, next_total, next_min, next_max,
+        )
+        hops += 1
+        if count[target] > 0.0:
+            result[hops] = HopStats(
+                count=float(count[target]),
+                total=float(total[target]),
+                minimum=float(minimum[target]),
+                maximum=float(maximum[target]),
+            )
+    return result
+
+
 def estimate_from_ceg(
-    ceg: CEG, path_length: str, aggregator: str
+    ceg: CEG, path_length: str, aggregator: str, compiled: bool = True
 ) -> float:
     """One of the nine §4.2 estimates from a built CEG.
 
-    Raises :class:`EstimationError` when the CEG has no (source, target)
-    path — the estimator has no formula for the query.
+    ``compiled`` selects the NumPy DP over the array-compiled CEG (the
+    default) or the dict-based reference DP; both produce bit-identical
+    estimates.  Raises :class:`EstimationError` when the CEG has no
+    (source, target) path — the estimator has no formula for the query.
     """
     if path_length not in PATH_LENGTH_CHOICES:
         raise ValueError(f"path_length must be one of {PATH_LENGTH_CHOICES}")
     if aggregator not in AGGREGATOR_CHOICES:
         raise ValueError(f"aggregator must be one of {AGGREGATOR_CHOICES}")
-    per_hop = hop_statistics(ceg)
+    if compiled:
+        per_hop = hop_statistics_compiled(ceg.compiled())
+    else:
+        per_hop = hop_statistics(ceg)
     if not per_hop:
         raise EstimationError("CEG has no bottom-to-top path")
     if path_length == "max":

@@ -1,15 +1,17 @@
 """Front door for exact cardinality computation.
 
 :func:`count_pattern` dispatches to the polynomial acyclic DP or the
-core-based backtracking counter, and handles disconnected patterns by
+core-based cyclic counter, and handles disconnected patterns by
 multiplying per-component counts (the join of disconnected components is
-their Cartesian product).
+their Cartesian product).  Cyclic cores default to the vectorized
+match-frame join counter; ``impl="python"`` selects the legacy
+backtracker (the differential-testing reference).
 """
 
 from __future__ import annotations
 
 from repro.engine.acyclic_dp import count_acyclic
-from repro.engine.backtracking import count_general, two_core_edges
+from repro.engine.backtracking import COUNT_IMPLS, count_general, two_core_edges
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.pattern import QueryPattern
 
@@ -39,19 +41,37 @@ def count_pattern(
     graph: LabeledDiGraph,
     pattern: QueryPattern,
     budget: int | None = None,
+    impl: str | None = None,
 ) -> float:
     """Exact homomorphism (join-output) count of ``pattern`` in ``graph``.
 
-    ``budget`` bounds backtracking work on cyclic patterns and raises
-    :class:`repro.errors.CountBudgetExceeded` when exhausted.
+    ``budget`` bounds counting work on cyclic patterns and raises
+    :class:`repro.errors.CountBudgetExceeded` when exhausted.  ``impl``
+    selects the cyclic-core counter (``"vectorized"``, the default, or
+    the legacy ``"python"`` backtracker); acyclic components always use
+    the polynomial tree DP.
+
+    The budget *unit* follows the impl: the backtracker charges one per
+    candidate expansion, the vectorized counter one per materialized
+    frame row (including the first core relation's rows, charged
+    upfront).  The magnitudes are comparable — both scale with the
+    intermediate-result sizes of the core join — but they are not equal,
+    so a budget tuned precisely to one impl's metric may cut off at a
+    different point under the other.  Budgets exist to bound runaway
+    work (the paper's per-query timeouts), not to be exact work meters;
+    pass ``impl="python"`` to keep the legacy metric exactly.
     """
+    if impl is None:
+        impl = "vectorized"
+    elif impl not in COUNT_IMPLS:
+        raise ValueError(f"impl must be one of {COUNT_IMPLS}, got {impl!r}")
     for label in pattern.labels:
         if label not in graph:
             return 0.0
     total = 1.0
     for component in _components(pattern):
         if two_core_edges(component):
-            total *= count_general(graph, component, budget=budget)
+            total *= count_general(graph, component, budget=budget, impl=impl)
         else:
             total *= count_acyclic(graph, component)
         if total == 0.0:

@@ -3,9 +3,11 @@
 The plan-quality experiment (Figure 15) executes left-deep join orders
 for real.  A :class:`BindingTable` holds partial matches as a dense
 int64 matrix (one column per bound variable); :func:`extend_by_edge`
-joins it with one more query atom using vectorised searchsorted range
-expansion.  The executor's "runtime" metric is the total number of
-intermediate tuples produced, the standard C_out proxy.
+joins it with one more query atom through the shared match-frame kernel
+of :mod:`repro.engine.frames` — the same searchsorted expansion /
+sorted-key semijoin that powers the vectorized cyclic counter and the
+offline statistics builder.  The executor's "runtime" metric is the
+total number of intermediate tuples produced, the standard C_out proxy.
 """
 
 from __future__ import annotations
@@ -14,6 +16,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.frames import (
+    Frame,
+    expand_ranges,
+    extend_frame,
+    frame_from_edge,
+)
 from repro.errors import PlanningError
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.pattern import QueryEdge
@@ -40,38 +48,17 @@ class BindingTable:
         return int(self.rows.shape[0])
 
 
-def expand_ranges(lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Flatten per-row index ranges ``[lo_i, hi_i)`` into gather indexes.
-
-    Returns ``(row_index, flat_index)`` such that iterating ``flat_index``
-    visits every position of every range, and ``row_index`` names the row
-    each position came from.
-    """
-    counts = hi - lo
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    row_index = np.repeat(np.arange(len(lo), dtype=np.int64), counts)
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
-    flat_index = np.repeat(lo, counts) + within
-    return row_index, flat_index
+def _to_table(frame: Frame) -> BindingTable:
+    if frame.size == 0:
+        rows = np.empty((0, len(frame.variables)), dtype=np.int64)
+    else:
+        rows = np.stack(frame.columns, axis=1)
+    return BindingTable(frame.variables, rows)
 
 
 def start_table(graph: LabeledDiGraph, edge: QueryEdge) -> BindingTable:
     """A table initialised from one atom's relation."""
-    if edge.label not in graph:
-        return BindingTable(
-            (edge.src, edge.dst), np.empty((0, 2), dtype=np.int64)
-        )
-    relation = graph.relation(edge.label)
-    if edge.src == edge.dst:
-        mask = relation.src_by_src == relation.dst_by_src
-        rows = relation.src_by_src[mask].reshape(-1, 1)
-        return BindingTable((edge.src,), rows)
-    rows = np.stack([relation.src_by_src, relation.dst_by_src], axis=1)
-    return BindingTable((edge.src, edge.dst), rows)
+    return _to_table(frame_from_edge(graph, edge))
 
 
 def extend_by_edge(
@@ -86,60 +73,12 @@ def extend_by_edge(
     plans over connected queries guarantee this).  ``max_rows`` aborts
     runaway intermediates with :class:`PlanningError`.
     """
-    src_bound = edge.src in table.variables
-    dst_bound = edge.dst in table.variables
-    if not src_bound and not dst_bound:
-        raise PlanningError(f"atom {edge} shares no variable with the table")
-    if edge.label not in graph:
-        empty = np.empty(
-            (0, len(table.variables) + (0 if src_bound and dst_bound else 1)),
-            dtype=np.int64,
-        )
-        new_vars = table.variables
-        if not (src_bound and dst_bound):
-            new_vars = table.variables + (
-                (edge.dst,) if src_bound else (edge.src,)
-            )
-        return BindingTable(new_vars, empty)
-    relation = graph.relation(edge.label)
-
-    if src_bound and dst_bound:
-        src_col = table.variables.index(edge.src)
-        dst_col = table.variables.index(edge.dst)
-        keys = relation.src_by_src * np.int64(graph.num_vertices) + relation.dst_by_src
-        probe = (
-            table.rows[:, src_col] * np.int64(graph.num_vertices)
-            + table.rows[:, dst_col]
-        )
-        slots = np.searchsorted(keys, probe)
-        slots = np.minimum(slots, len(keys) - 1) if len(keys) else slots
-        hit = (
-            (keys[slots] == probe) if len(keys) else np.zeros(len(probe), bool)
-        )
-        return BindingTable(table.variables, table.rows[hit])
-
-    if src_bound:
-        bound_col = table.variables.index(edge.src)
-        sorted_keys = relation.src_by_src
-        partner = relation.dst_by_src
-        new_var = edge.dst
-    else:
-        bound_col = table.variables.index(edge.dst)
-        sorted_keys = relation.dst_by_dst
-        partner = relation.src_by_dst
-        new_var = edge.src
-    values = table.rows[:, bound_col]
-    lo = np.searchsorted(sorted_keys, values, side="left")
-    hi = np.searchsorted(sorted_keys, values, side="right")
-    row_index, flat_index = expand_ranges(lo, hi)
-    if max_rows is not None and len(row_index) > max_rows:
-        raise PlanningError(
-            f"intermediate exceeded {max_rows} rows while joining {edge}"
-        )
-    new_rows = np.concatenate(
-        [table.rows[row_index], partner[flat_index].reshape(-1, 1)], axis=1
+    frame = Frame(
+        table.variables,
+        tuple(table.rows[:, j] for j in range(len(table.variables))),
     )
-    return BindingTable(table.variables + (new_var,), new_rows)
+    extended, _ = extend_frame(graph, frame, edge, max_rows=max_rows)
+    return _to_table(extended)
 
 
 def _encode_key_columns(rows: np.ndarray, columns: list[int], modulus: int) -> np.ndarray:

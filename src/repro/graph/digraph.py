@@ -35,6 +35,7 @@ class LabelRelation:
     src_by_dst: np.ndarray
     dst_by_dst: np.ndarray
     _pair_keys: np.ndarray | None = field(repr=False, default=None)
+    _pair_keys_modulus: int = field(repr=False, default=-1)
 
     @classmethod
     def build(cls, label: str, src: np.ndarray, dst: np.ndarray) -> "LabelRelation":
@@ -89,15 +90,26 @@ class LabelRelation:
         hi = np.searchsorted(self.dst_by_dst, vertex, side="right")
         return int(hi - lo)
 
+    def pair_keys(self, num_vertices: int) -> np.ndarray:
+        """Sorted scalar keys ``src * n + dst`` of the relation (cached).
+
+        Sortedness follows from the (src, dst) lexsort at build time;
+        both point membership tests and vectorized frame semijoins
+        binary-search this array.
+        """
+        if self._pair_keys is None or self._pair_keys_modulus != num_vertices:
+            self._pair_keys = (
+                self.src_by_src * np.int64(num_vertices) + self.dst_by_src
+            )
+            self._pair_keys_modulus = int(num_vertices)
+        return self._pair_keys
+
     def has_edge(self, u: int, v: int, num_vertices: int) -> bool:
         """Membership test for the pair ``(u, v)``."""
-        if self._pair_keys is None:
-            self._pair_keys = self.src_by_src * np.int64(num_vertices) + self.dst_by_src
+        keys = self.pair_keys(num_vertices)
         key = np.int64(u) * np.int64(num_vertices) + np.int64(v)
-        index = np.searchsorted(self._pair_keys, key)
-        return bool(
-            index < len(self._pair_keys) and self._pair_keys[index] == key
-        )
+        index = np.searchsorted(keys, key)
+        return bool(index < len(keys) and keys[index] == key)
 
 
 class LabeledDiGraph:

@@ -53,6 +53,7 @@ from repro.core.ceg_entropy import lowest_entropy_estimate
 from repro.core.ceg_o import build_ceg_o
 from repro.engine.backtracking import two_core_edges
 from repro.engine.counter import count_pattern
+from repro.engine.frames import sorted_intersects
 from repro.engine.join import BindingTable, extend_by_edge, start_table
 from repro.errors import PlanningError, ReproError
 from repro.graph.digraph import LabeledDiGraph
@@ -102,17 +103,6 @@ class StatsBuildConfig:
 # Shared enumeration
 # ----------------------------------------------------------------------
 
-def _intersects(sorted_values: np.ndarray, sorted_probe: np.ndarray) -> bool:
-    """Whether two sorted unique int arrays share an element."""
-    if len(sorted_values) == 0 or len(sorted_probe) == 0:
-        return False
-    if len(sorted_probe) > len(sorted_values):
-        sorted_values, sorted_probe = sorted_probe, sorted_values
-    slots = np.searchsorted(sorted_values, sorted_probe)
-    valid = slots < len(sorted_values)
-    return bool(np.any(sorted_values[slots[valid]] == sorted_probe[valid]))
-
-
 def _fresh_name(variables: Iterable[str]) -> str:
     taken = set(variables)
     index = len(taken)
@@ -147,9 +137,9 @@ def _candidate_edges(
         }
     for var in variables:
         for label in labels:
-            if values is None or _intersects(unique_src[label], values[var]):
+            if values is None or sorted_intersects(unique_src[label], values[var]):
                 yield QueryEdge(var, fresh, label)
-            if values is None or _intersects(unique_dst[label], values[var]):
+            if values is None or sorted_intersects(unique_dst[label], values[var]):
                 yield QueryEdge(fresh, var, label)
     for src in variables:
         for dst in variables:
@@ -158,8 +148,8 @@ def _candidate_edges(
                 if edge in existing:
                     continue
                 if values is None or (
-                    _intersects(unique_src[label], values[src])
-                    and _intersects(unique_dst[label], values[dst])
+                    sorted_intersects(unique_src[label], values[src])
+                    and sorted_intersects(unique_dst[label], values[dst])
                 ):
                     yield edge
 
