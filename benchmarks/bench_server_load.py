@@ -1,0 +1,413 @@
+"""Open-loop load generator for the multi-tenant estimation server.
+
+Three phases against an in-process :class:`repro.server.ThreadedServer`
+serving the ``example`` artifact (the serving tier's overhead — wire
+protocol, admission, coalescing — is what's measured; estimator cost is
+covered by the engine/service benches):
+
+1. **Identity sweep** — every shape in the pool is served once per
+   estimator (all nine §4.2 heuristics + MOLP) and must be bit-identical
+   to in-process ``EstimationSession.estimate_batch`` on the same
+   artifact.  This is an acceptance gate, asserted on every run.
+2. **Coalesce probe** — the tenant is hot-reloaded (fresh caches) and N
+   concurrent identical requests race onto a cold shape: the session's
+   skeleton-cache counters must show exactly **one** CEG build, with the
+   other N-1 callers either coalesced in flight or served from the LRU.
+3. **Open-loop load** — requests arrive on a fixed schedule (arrival
+   times independent of completions, so client-side queueing counts
+   against latency like a real overloaded service), shapes drawn from a
+   Zipf-skewed popularity distribution with fresh variable names per
+   arrival, estimators from a weighted mix.  Every response is verified
+   bit-identical; throughput and latency percentiles land in
+   ``BENCH_server.json``.
+
+Runs standalone: ``python benchmarks/bench_server_load.py [--quick]
+[--json PATH]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import queue
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.presets import running_example_graph  # noqa: E402
+from repro.query.parser import parse_pattern  # noqa: E402
+from repro.server import (  # noqa: E402
+    EstimationClient,
+    ServerConfig,
+    StoreRegistry,
+    ThreadedServer,
+)
+from repro.stats import (  # noqa: E402
+    StatisticsStore,
+    StatsBuildConfig,
+    build_statistics,
+)
+
+ALL_SPECS = [
+    f"{hop}-{agg}"
+    for hop in ("max-hop", "min-hop", "all-hops")
+    for agg in ("max", "min", "avg")
+] + ["MOLP"]
+
+#: (weight, estimator) mix for the load phase: mostly the paper's
+#: recommended point, some pessimistic bounds, a slower heuristic tail.
+ESTIMATOR_MIX = [(0.7, "max-hop-max"), (0.2, "MOLP"), (0.1, "all-hops-avg")]
+
+SHAPE_TEMPLATES = [
+    "{0} -[A]-> {1}",
+    "{0} -[B]-> {1}",
+    "{0} -[C]-> {1}",
+    "{0} -[D]-> {1}",
+    "{0} -[E]-> {1}",
+    "{0} -[A]-> {1} -[B]-> {2}",
+    "{0} -[B]-> {1} -[C]-> {2}",
+    "{0} -[B]-> {1} -[D]-> {2}",
+    "{0} -[B]-> {1} -[E]-> {2}",
+    "{0} -[A]-> {1} -[B]-> {2} -[C]-> {3}",
+    "{0} -[A]-> {1} -[B]-> {2} -[D]-> {3}",
+    "{0} -[A]-> {1} -[B]-> {2} -[E]-> {3}",
+    "{0} -[B]-> {1}, {0} -[B]-> {2}",
+    "{0} -[A]-> {1}, {2} -[A]-> {1}",
+    "{0} -[C]-> {1}, {0} -[D]-> {2}",
+    "{0} -[A]-> {1} -[B]-> {2}, {1} -[B]-> {3}",
+]
+
+
+def shape_text(template: str, salt: int) -> str:
+    """Instantiate a template with salted variable names (same shape)."""
+    return template.format(
+        f"u{salt}", f"v{salt}", f"w{salt}", f"x{salt}"
+    )
+
+
+def zipf_ranks(rng: random.Random, count: int, size: int, s: float = 1.1):
+    """``count`` Zipf(s)-distributed ranks in [0, size)."""
+    weights = [1.0 / (rank + 1) ** s for rank in range(size)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    ranks = []
+    for _ in range(count):
+        point = rng.random()
+        for rank, bound in enumerate(cumulative):
+            if point <= bound:
+                ranks.append(rank)
+                break
+        else:  # pragma: no cover - float edge
+            ranks.append(size - 1)
+    return ranks
+
+
+def pick_estimator(rng: random.Random) -> str:
+    point = rng.random()
+    acc = 0.0
+    for weight, name in ESTIMATOR_MIX:
+        acc += weight
+        if point <= acc:
+            return name
+    return ESTIMATOR_MIX[-1][1]
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(
+        int(fraction * len(sorted_values)), len(sorted_values) - 1
+    )
+    return sorted_values[index]
+
+
+def build_artifacts(base: Path) -> tuple[Path, Path]:
+    store = build_statistics(
+        running_example_graph(),
+        StatsBuildConfig(h=2, molp_h=2),
+        dataset_name="example",
+    )
+    return store.save(base / "v1"), store.save(base / "v2")
+
+
+def expected_estimates(artifact: Path) -> dict[str, dict[str, float | None]]:
+    """In-process reference values per (template, spec) — the truth."""
+    session = StatisticsStore.load(artifact).session()
+    patterns = [
+        parse_pattern(shape_text(template, 0)) for template in SHAPE_TEMPLATES
+    ]
+    batch = session.estimate_batch(patterns, specs=ALL_SPECS, max_workers=1)
+    return {
+        template: {
+            spec: batch.item(index, spec).estimate for spec in ALL_SPECS
+        }
+        for index, template in enumerate(SHAPE_TEMPLATES)
+    }
+
+
+def identity_sweep(host, port, expected) -> int:
+    """Phase 1: every (shape, spec) served once, asserted bit-identical."""
+    checked = 0
+    with EstimationClient(host, port) as client:
+        for template, per_spec in expected.items():
+            result = client.estimate(
+                "example", shape_text(template, 1), ALL_SPECS
+            )
+            for spec, value in per_spec.items():
+                if value is None:
+                    assert spec in result["errors"], (template, spec)
+                else:
+                    served = result["estimates"][spec]
+                    assert served == value, (
+                        f"served {served!r} != in-process {value!r} "
+                        f"for {template!r} under {spec}"
+                    )
+                checked += 1
+    return checked
+
+
+def coalesce_probe(threaded: ThreadedServer, v2: Path, fan_out: int) -> dict:
+    """Phase 2: N concurrent identical cold requests -> one CEG build."""
+    with EstimationClient(threaded.host, threaded.port) as client:
+        client.reload("example", str(v2))  # fresh session, cold caches
+    server = threaded.server
+    before = server.stats_result()
+    cache_before = before["tenants"]["example"]["cache"]
+    barrier = threading.Barrier(fan_out)
+    results = []
+    results_lock = threading.Lock()
+
+    def fire():
+        with EstimationClient(threaded.host, threaded.port) as client:
+            barrier.wait(10)
+            result = client.estimate(
+                "example",
+                shape_text(SHAPE_TEMPLATES[-1], 9),
+                ["all-hops-avg"],
+            )
+            with results_lock:
+                results.append(result["estimates"]["all-hops-avg"])
+
+    threads = [threading.Thread(target=fire) for _ in range(fan_out)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    after = server.stats_result()
+    cache_after = after["tenants"]["example"]["cache"]
+    skeleton_builds = (
+        cache_after["skeletons"]["misses"] - cache_before["skeletons"]["misses"]
+    )
+    followers = (
+        after["coalescer"]["followers"] - before["coalescer"]["followers"]
+    )
+    lru_hits = (
+        cache_after["estimates"]["hits"] - cache_before["estimates"]["hits"]
+    )
+    assert len(results) == fan_out and len(set(results)) == 1, (
+        "every concurrent caller must receive the identical estimate"
+    )
+    assert skeleton_builds == 1, (
+        f"{fan_out} concurrent identical cold requests must collapse into "
+        f"one CEG build; session counters saw {skeleton_builds}"
+    )
+    assert followers + lru_hits == fan_out - 1
+    return {
+        "fan_out": fan_out,
+        "skeleton_builds": skeleton_builds,
+        "coalesced_followers": followers,
+        "estimate_lru_hits": lru_hits,
+    }
+
+
+def open_loop_load(
+    host: str,
+    port: int,
+    expected: dict,
+    requests: int,
+    rate: float,
+    workers: int,
+    seed: int,
+) -> dict:
+    """Phase 3: fixed arrival schedule, Zipf shape mix, verified responses."""
+    rng = random.Random(seed)
+    ranks = zipf_ranks(rng, requests, len(SHAPE_TEMPLATES))
+    schedule = [
+        (
+            arrival / rate,
+            SHAPE_TEMPLATES[rank],
+            pick_estimator(rng),
+            arrival,
+        )
+        for arrival, rank in enumerate(ranks)
+    ]
+    work: queue.Queue = queue.Queue()
+    for item in schedule:
+        work.put(item)
+    latencies: list[float] = []
+    mismatches: list[str] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    epoch: list[float] = []
+
+    def worker():
+        with EstimationClient(host, port) as client:
+            start_gate.wait(10)
+            while True:
+                try:
+                    offset, template, estimator, salt = work.get_nowait()
+                except queue.Empty:
+                    return
+                now = time.perf_counter()
+                wake = epoch[0] + offset
+                if wake > now:
+                    time.sleep(wake - now)
+                try:
+                    result = client.estimate(
+                        "example",
+                        shape_text(template, salt),
+                        [estimator],
+                    )
+                except Exception as error:
+                    with lock:
+                        errors.append(f"{template!r}: {error}")
+                    continue
+                done = time.perf_counter()
+                value = result["estimates"].get(estimator)
+                reference = expected[template][estimator]
+                if value != reference:
+                    with lock:
+                        mismatches.append(
+                            f"{template!r} {estimator}: {value!r} != "
+                            f"{reference!r}"
+                        )
+                with lock:
+                    # Open-loop latency: measured from the *scheduled*
+                    # arrival, so backlog waits count against us.
+                    latencies.append(done - (epoch[0] + offset))
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for thread in threads:
+        thread.start()
+    epoch.append(time.perf_counter())
+    start_gate.set()
+    for thread in threads:
+        thread.join(300)
+    elapsed = time.perf_counter() - epoch[0]
+    assert not errors, f"load phase hit request errors: {errors[:3]}"
+    assert not mismatches, (
+        f"served estimates diverged from in-process: {mismatches[:3]}"
+    )
+    assert len(latencies) == requests
+    latencies.sort()
+    return {
+        "requests": requests,
+        "target_rate_rps": rate,
+        "workers": workers,
+        "duration_seconds": elapsed,
+        "throughput_rps": requests / elapsed,
+        "latency_ms": {
+            "p50": percentile(latencies, 0.50) * 1000,
+            "p90": percentile(latencies, 0.90) * 1000,
+            "p99": percentile(latencies, 0.99) * 1000,
+            "max": latencies[-1] * 1000,
+        },
+        "zipf_s": 1.1,
+        "estimator_mix": {name: weight for weight, name in ESTIMATOR_MIX},
+    }
+
+
+def run(quick: bool = False) -> dict:
+    requests = 400 if quick else 4000
+    rate = 400.0 if quick else 800.0
+    workers = 8 if quick else 16
+    fan_out = 8 if quick else 16
+    with tempfile.TemporaryDirectory(prefix="bench-server-") as tmp:
+        v1, v2 = build_artifacts(Path(tmp))
+        expected = expected_estimates(v1)
+        registry = StoreRegistry()
+        registry.load("example", v1)
+        config = ServerConfig(
+            port=0, max_inflight=8, queue_limit=max(requests, 128)
+        )
+        with ThreadedServer(registry, config) as threaded:
+            host, port = threaded.host, threaded.port
+            cells = identity_sweep(host, port, expected)
+            coalesce = coalesce_probe(threaded, v2, fan_out)
+            load = open_loop_load(
+                host, port, expected, requests, rate, workers, seed=7
+            )
+            stats = threaded.server.stats_result()
+    ok = (
+        coalesce["skeleton_builds"] == 1
+        and stats["admission"]["shed_total"] == 0
+        and load["throughput_rps"] > 0
+    )
+    return {
+        "benchmark": "server_load",
+        "mode": "quick" if quick else "full",
+        "identity_cells_verified": cells,
+        "all_bit_identical": True,  # asserted above, every run
+        "coalesce": coalesce,
+        "load": load,
+        "admission": stats["admission"],
+        "coalescer_totals": stats["coalescer"],
+        "ok": ok,
+    }
+
+
+def render(report: dict) -> str:
+    load = report["load"]
+    latency = load["latency_ms"]
+    coalesce = report["coalesce"]
+    return "\n".join(
+        [
+            f"Server load (open loop, mode={report['mode']})",
+            f"  identity sweep       : {report['identity_cells_verified']} "
+            "(shape, estimator) cells bit-identical to in-process",
+            f"  coalesce probe       : {coalesce['fan_out']} concurrent "
+            f"identical cold requests -> {coalesce['skeleton_builds']} CEG "
+            f"build ({coalesce['coalesced_followers']} coalesced, "
+            f"{coalesce['estimate_lru_hits']} LRU hits)",
+            f"  load                 : {load['requests']} requests @ "
+            f"{load['target_rate_rps']:.0f}/s target, "
+            f"{load['throughput_rps']:.1f}/s achieved",
+            f"  latency (open loop)  : p50 {latency['p50']:.2f} ms, "
+            f"p90 {latency['p90']:.2f} ms, p99 {latency['p99']:.2f} ms, "
+            f"max {latency['max']:.2f} ms",
+            f"  shed / deadline      : "
+            f"{report['admission']['shed_total']} / "
+            f"{report['admission']['deadline_exceeded_total']}",
+        ]
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument("--json", type=Path, default=None)
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    print(render(report))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2), encoding="utf-8")
+        print(f"wrote {args.json}")
+    if not report["ok"]:
+        print("FAIL: server load benchmark gates not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,14 +1,16 @@
 """Run the perf-trajectory benchmarks and persist machine-readable results.
 
 ``python benchmarks/run_all.py --json`` runs the execution-engine
-benchmark (vectorized vs legacy cyclic counting) and the service
+benchmark (vectorized vs legacy cyclic counting), the service
 benchmark (cold-shape ``estimate_batch`` throughput vs the pre-PR
-pipeline) and writes ``BENCH_engine.json`` / ``BENCH_service.json``
-next to this script — the perf baseline future PRs diff against.
+pipeline) and the server load benchmark (open-loop traffic against the
+network serving tier) and writes ``BENCH_engine.json`` /
+``BENCH_service.json`` / ``BENCH_server.json`` next to this script —
+the perf baseline future PRs diff against.
 Re-run with ``--json`` after perf-relevant changes and commit the
 updated files so the trajectory stays in history.
 
-``--quick`` switches both benchmarks to their CI-smoke configuration
+``--quick`` switches every benchmark to its CI-smoke configuration
 (smaller scale, "not slower" bars).
 """
 
@@ -25,11 +27,13 @@ sys.path.insert(0, str(HERE.parent / "src"))
 sys.path.insert(0, str(HERE))
 
 import bench_engine_vectorized  # noqa: E402
+import bench_server_load  # noqa: E402
 import bench_service_cold  # noqa: E402
 
 BENCHES = (
     ("BENCH_engine.json", bench_engine_vectorized),
     ("BENCH_service.json", bench_service_cold),
+    ("BENCH_server.json", bench_server_load),
 )
 
 
@@ -38,7 +42,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         action="store_true",
-        help="write BENCH_engine.json / BENCH_service.json",
+        help="write BENCH_engine.json / BENCH_service.json / BENCH_server.json",
     )
     parser.add_argument(
         "--out-dir",

@@ -35,6 +35,7 @@ from repro.datasets import load_dataset
 from repro.engine import count_pattern
 from repro.graph import LabeledDiGraph, generate_graph
 from repro.query import QueryEdge, QueryPattern, parse_pattern
+from repro.server import EstimationClient, EstimationServer, StoreRegistry
 from repro.service import BatchResult, EstimationSession, EstimatorSpec
 from repro.stats import StatisticsStore, StatsBuildConfig, build_statistics
 
@@ -74,5 +75,8 @@ __all__ = [
     "StatisticsStore",
     "StatsBuildConfig",
     "build_statistics",
+    "StoreRegistry",
+    "EstimationServer",
+    "EstimationClient",
     "__version__",
 ]

@@ -11,6 +11,9 @@ Usage::
     python -m repro batch -q "a -[A]-> b -[B]-> c" -e max-hop-max -e MOLP
     python -m repro batch --stats-dir stats/example -q "a -[A]-> b -[B]-> c"
     python -m repro batch --file queries.txt --dataset hetionet --repeat 3
+    python -m repro serve --tenant example=stats/example --port 7421
+    python -m repro query --port 7421 --tenant example -q "a -[A]-> b"
+    python -m repro query --port 7421 --stats
 
 Each experiment prints its table; ``--out DIR`` additionally writes one
 ``.txt`` per experiment.  ``stats build`` bulk-builds every summary for
@@ -25,6 +28,13 @@ it serves from a prebuilt artifact and never loads the base graph.
 query failed to estimate (its error is in the report); 2 — the request
 itself is invalid (malformed query text, unknown estimator/dataset,
 artifact/spec mismatch).  ``stats`` uses 0/2 the same way.
+
+``serve`` runs the long-lived multi-tenant estimation server
+(:mod:`repro.server`) over one or more prebuilt artifacts; ``query`` is
+its blocking network client.  ``query`` extends the ``batch`` taxonomy
+with exit code 3 for transient serving conditions — the server shed the
+request (``overloaded``), the deadline expired, the server is shutting
+down, or it cannot be reached at all — where a retry may succeed.
 """
 
 from __future__ import annotations
@@ -444,13 +454,263 @@ def run_stats(argv: list[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the multi-tenant estimation server over prebuilt "
+            "statistics artifacts (NDJSON over TCP; see repro.server)."
+        ),
+    )
+    parser.add_argument(
+        "--tenant", action="append", default=[], metavar="NAME=DIR",
+        help="register one tenant serving the artifact in DIR "
+             "(repeatable; at least one required)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7421,
+                        help="TCP port (default 7421; 0 picks a free port, "
+                             "printed in the ready line)")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="estimation requests computed concurrently "
+                             "(default 8)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="admitted requests allowed to wait beyond "
+                             "--max-inflight before shedding (default 64)")
+    parser.add_argument("--deadline-ms", type=float, default=30_000.0,
+                        help="default per-request deadline, queue time "
+                             "included (default 30000)")
+    return parser
+
+
+def run_serve(argv: list[str]) -> int:
+    """The ``repro serve`` subcommand; returns a process exit code."""
+    import asyncio
+    import signal
+
+    from repro.server import EstimationServer, ServerConfig, StoreRegistry
+
+    args = build_serve_parser().parse_args(argv)
+    if not args.tenant:
+        print(
+            "repro serve: at least one --tenant NAME=DIR is required",
+            file=sys.stderr,
+        )
+        return 2
+    registry = StoreRegistry()
+    for item in args.tenant:
+        name, separator, path = item.partition("=")
+        if not separator or not name or not path:
+            print(
+                f"repro serve: bad --tenant {item!r}; expected NAME=DIR",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            registry.load(name, path)
+        except ReproError as error:
+            print(f"repro serve: tenant {name!r}: {error}", file=sys.stderr)
+            return 2
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            default_deadline_ms=args.deadline_ms,
+        )
+    except ValueError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+
+    async def serve() -> int:
+        server = EstimationServer(registry, config)
+        host, port = await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        # One machine-readable ready line so wrappers (CI, the load
+        # benchmark) can wait for startup and discover a --port 0 bind.
+        print(
+            json.dumps(
+                {
+                    "event": "ready",
+                    "host": host,
+                    "port": port,
+                    "tenants": registry.names(),
+                }
+            ),
+            flush=True,
+        )
+        await server.run_until_shutdown()
+        print(json.dumps({"event": "stopped"}), flush=True)
+        return 0
+
+    return asyncio.run(serve())
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    """The ``repro query`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description=(
+            "Query a running estimation server (the blocking client of "
+            "'repro serve') and print a JSON report."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="server host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7421,
+                        help="server port (default 7421)")
+    parser.add_argument("--tenant", default=None, metavar="NAME",
+                        help="tenant to estimate against (required for "
+                             "queries and --reload)")
+    parser.add_argument(
+        "-q", "--query", action="append", default=[], metavar="PATTERN",
+        help="a query in arrow syntax (repeatable)",
+    )
+    parser.add_argument(
+        "--file", type=str, default=None, metavar="PATH",
+        help="file with one query per line ('-' for stdin; '#' comments ok)",
+    )
+    parser.add_argument(
+        "-e", "--estimator", action="append", default=[], metavar="NAME",
+        help="estimator name ('all9' expands to the nine heuristics); "
+             "repeatable (default: max-hop-max)",
+    )
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline sent to the server")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="client socket timeout in seconds (default 60)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the server's stats snapshot instead of "
+                             "estimating")
+    parser.add_argument("--reload", metavar="DIR", default=None,
+                        dest="reload_path", nargs="?", const="",
+                        help="hot-reload --tenant from DIR (or its current "
+                             "directory when DIR is omitted)")
+    parser.add_argument("--allow-fingerprint-change", action="store_true",
+                        help="let --reload repoint the tenant at an artifact "
+                             "of a different dataset")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="ask the server to drain and exit")
+    parser.add_argument("--indent", action="store_true",
+                        help="pretty-print the JSON report")
+    return parser
+
+
+def run_query(argv: list[str]) -> int:
+    """The ``repro query`` subcommand; returns a process exit code."""
+    from repro.server import (
+        EstimationClient,
+        ServerError,
+        ServerUnavailable,
+    )
+
+    args = build_query_parser().parse_args(argv)
+    indent = 2 if args.indent else None
+    modes = [
+        bool(args.stats),
+        args.reload_path is not None,
+        bool(args.shutdown),
+        bool(args.query or args.file),
+    ]
+    if sum(modes) != 1:
+        print(
+            "repro query: choose exactly one of --stats, --reload, "
+            "--shutdown, or queries (-q/--file)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with EstimationClient(args.host, args.port, timeout=args.timeout) as client:
+            if args.stats:
+                print(json.dumps(client.stats(), indent=indent))
+                return 0
+            if args.shutdown:
+                print(json.dumps(client.shutdown(), indent=indent))
+                return 0
+            if args.reload_path is not None:
+                if args.tenant is None:
+                    print(
+                        "repro query: --reload needs --tenant",
+                        file=sys.stderr,
+                    )
+                    return 2
+                result = client.reload(
+                    args.tenant,
+                    path=args.reload_path or None,
+                    allow_fingerprint_change=args.allow_fingerprint_change,
+                )
+                print(json.dumps(result, indent=indent))
+                return 0
+            if args.tenant is None:
+                print("repro query: queries need --tenant", file=sys.stderr)
+                return 2
+            try:
+                specs = _resolve_specs(args.estimator)
+            except ValueError as error:
+                print(f"repro query: {error}", file=sys.stderr)
+                return 2
+            try:
+                texts = _read_queries(args)
+            except OSError as error:
+                print(
+                    f"repro query: cannot read query file: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            if not texts:
+                print(
+                    "repro query: no queries given (use -q or --file)",
+                    file=sys.stderr,
+                )
+                return 2
+            estimators = [spec.name for spec in specs]
+            results = []
+            failed_cells = False
+            for text in texts:
+                result = client.estimate(
+                    args.tenant,
+                    text,
+                    estimators=estimators,
+                    deadline_ms=args.deadline_ms,
+                )
+                failed_cells = failed_cells or bool(result.get("errors"))
+                results.append(result)
+            report = {
+                "server": f"{args.host}:{args.port}",
+                "tenant": args.tenant,
+                "estimators": estimators,
+                "num_queries": len(results),
+                "results": results,
+            }
+            print(json.dumps(report, indent=indent))
+            return 1 if failed_cells else 0
+    except ServerError as error:
+        print(f"repro query: {error}", file=sys.stderr)
+        return error.exit_code
+    except ServerUnavailable as error:
+        print(f"repro query: {error}", file=sys.stderr)
+        return 3
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Run the selected experiment(s), stats command, or batch."""
+    """Run the selected experiment(s), stats/serve/query command, or batch."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "batch":
         return run_batch(argv[1:])
     if argv and argv[0] == "stats":
         return run_stats(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
+    if argv and argv[0] == "query":
+        return run_query(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -1,0 +1,50 @@
+"""Multi-tenant async estimation server (the serve plane over the wire).
+
+``repro.server`` turns the in-process estimation service into a
+long-lived network daemon: a :class:`~repro.server.registry.StoreRegistry`
+of named, hot-reloadable :class:`~repro.stats.StatisticsStore` artifacts,
+an asyncio NDJSON/TCP front end with admission control, and per-(tenant,
+shape, estimator) single-flight coalescing in front of the session LRUs.
+``repro serve`` / ``repro query`` are the CLI entry points;
+:class:`~repro.server.client.EstimationClient` is the library client.
+"""
+
+from repro.server.client import (
+    EstimationClient,
+    ServerError,
+    ServerUnavailable,
+    wait_until_ready,
+)
+from repro.server.coalescer import CoalescerStats, SingleFlight
+from repro.server.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    parse_request,
+)
+from repro.server.registry import StoreRegistry, TenantEntry
+from repro.server.server import EstimationServer, ServerConfig, ThreadedServer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "ERROR_CODES",
+    "ErrorCode",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "CoalescerStats",
+    "SingleFlight",
+    "StoreRegistry",
+    "TenantEntry",
+    "ServerConfig",
+    "EstimationServer",
+    "ThreadedServer",
+    "EstimationClient",
+    "ServerError",
+    "ServerUnavailable",
+    "wait_until_ready",
+]

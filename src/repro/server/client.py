@@ -1,0 +1,251 @@
+"""Blocking NDJSON client for the estimation server.
+
+One :class:`EstimationClient` wraps one TCP connection and issues one
+request at a time (the protocol allows pipelining, but lock-step keeps
+the failure modes simple).  A client is safe to share across threads —
+a mutex serialises requests — but load generators should prefer one
+client per worker so requests actually overlap on the server.
+
+Server-side failures surface as :class:`ServerError` carrying the typed
+wire code and the process exit code of the ``repro batch``/``repro
+query`` taxonomy (2 — invalid request, 1 — estimation failure, 3 —
+transient serving condition such as ``overloaded`` or
+``deadline_exceeded``).  Transport-level failures (connection refused,
+reset, EOF mid-response) raise :class:`ServerUnavailable`, which maps to
+exit code 3 as well.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+from repro.server import protocol
+
+__all__ = [
+    "ServerError",
+    "ServerUnavailable",
+    "EstimationClient",
+    "wait_until_ready",
+]
+
+
+class ServerError(ReproError):
+    """The server answered with a typed error response."""
+
+    def __init__(self, code: str, message: str, exit_code: int):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.exit_code = exit_code
+
+
+class ServerUnavailable(ReproError):
+    """The server could not be reached or dropped the connection."""
+
+    exit_code = 3
+
+
+class EstimationClient:
+    """A blocking request/response client for one server connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout: float | None = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        # Re-entrant: request() calls close() on its error paths while
+        # already holding the lock.
+        self._lock = threading.RLock()
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as error:
+            raise ServerUnavailable(
+                f"cannot connect to estimation server at "
+                f"{self.host}:{self.port}: {error}"
+            )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        """Close the connection (idempotent, waits out in-flight requests)."""
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    def __enter__(self) -> "EstimationClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Raw request/response
+    # ------------------------------------------------------------------
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one raw request object; returns the raw response object.
+
+        Does not interpret ``ok``/``error`` — see :meth:`call` for the
+        error-raising variant.
+        """
+        # The whole exchange — including the error-path close() — stays
+        # under the mutex, so a concurrent thread can never observe the
+        # socket half-torn-down (or have its fresh reconnect closed from
+        # under it).
+        with self._lock:
+            if self._sock is None:
+                self._connect()
+            assert self._sock is not None and self._file is not None
+            try:
+                self._sock.sendall(protocol.encode_line(payload))
+                line = self._file.readline(protocol.MAX_LINE_BYTES)
+            except OSError as error:
+                self.close()
+                raise ServerUnavailable(
+                    f"estimation server connection failed: {error}"
+                )
+            if not line:
+                self.close()
+                raise ServerUnavailable(
+                    "estimation server closed the connection mid-request"
+                )
+            if not line.endswith(b"\n"):
+                # Either the cap truncated an oversized line or the
+                # server died mid-response; both ways the stream framing
+                # is gone, so drop the connection rather than desync
+                # every later request.
+                self.close()
+                raise ServerUnavailable(
+                    "estimation server response was truncated "
+                    f"(>{protocol.MAX_LINE_BYTES} bytes or connection "
+                    "lost mid-line)"
+                )
+            try:
+                return protocol.decode_line(line)
+            except protocol.ProtocolError as error:
+                self.close()
+                raise ServerUnavailable(
+                    f"estimation server sent an unparseable response: "
+                    f"{error}"
+                )
+
+    def call(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request; returns ``result`` or raises ServerError."""
+        response = self.request(payload)
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        raise ServerError(
+            code=str(error.get("code", "internal_error")),
+            message=str(error.get("message", "unknown server error")),
+            exit_code=int(error.get("exit_code", 1)),
+        )
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        tenant: str,
+        query: str,
+        estimators: Iterable[str] = ("max-hop-max",),
+        deadline_ms: float | None = None,
+        request_id: Any = None,
+    ) -> dict[str, Any]:
+        """Estimate one query under one or more estimator configs.
+
+        Returns the result object: ``estimates`` maps estimator name to
+        the float (bit-identical to the in-process session value), and
+        ``errors`` maps failed estimators to their error strings.
+        """
+        payload: dict[str, Any] = {
+            "v": protocol.PROTOCOL_VERSION,
+            "verb": "estimate",
+            "tenant": tenant,
+            "query": query,
+            "estimators": list(estimators),
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if request_id is not None:
+            payload["id"] = request_id
+        return self.call(payload)
+
+    def stats(self) -> dict[str, Any]:
+        """The server's introspection snapshot (``stats`` verb)."""
+        return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "stats"})
+
+    def ping(self) -> dict[str, Any]:
+        """Liveness check; returns the registered tenant names."""
+        return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "ping"})
+
+    def reload(
+        self,
+        tenant: str,
+        path: str | None = None,
+        allow_fingerprint_change: bool = False,
+    ) -> dict[str, Any]:
+        """Hot-reload one tenant's artifact (``reload`` verb)."""
+        payload: dict[str, Any] = {
+            "v": protocol.PROTOCOL_VERSION,
+            "verb": "reload",
+            "tenant": tenant,
+        }
+        if path is not None:
+            payload["path"] = path
+        if allow_fingerprint_change:
+            payload["allow_fingerprint_change"] = True
+        return self.call(payload)
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to drain and exit (``shutdown`` verb)."""
+        return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "shutdown"})
+
+
+def wait_until_ready(
+    host: str, port: int, timeout: float = 30.0, interval: float = 0.05
+) -> None:
+    """Block until a server answers ``ping`` (for subprocess startup)."""
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with EstimationClient(host, port, timeout=5.0) as client:
+                client.ping()
+            return
+        except (ReproError, OSError, json.JSONDecodeError) as error:
+            last_error = error
+            time.sleep(interval)
+    raise ServerUnavailable(
+        f"estimation server at {host}:{port} did not become ready within "
+        f"{timeout:g}s: {last_error}"
+    )

@@ -1,0 +1,119 @@
+"""Single-flight coalescing of identical in-flight computations.
+
+When N concurrent requests ask for the same (tenant, canonical shape,
+estimator config) — the signature pattern of a popular query template
+going cold after a deploy or reload — the session LRUs alone cannot
+help: all N miss, and all N rebuild the same CEG.  A
+:class:`SingleFlight` collapses them: the first caller of a key becomes
+the **leader** and runs the computation; every caller that arrives while
+it is still in flight becomes a **follower** and waits for the leader's
+result instead of recomputing.  The key is dropped the moment the
+computation finishes, so results are never cached here — that is the
+session LRU's job; single-flight only deduplicates *concurrent* work.
+
+Failures are shared too: a leader's exception is re-raised in every
+follower (the same exception object — estimator errors are immutable
+messages, so sharing is safe) and is never remembered, so the next
+arrival after a failure retries as a fresh leader.
+
+The implementation is thread-based (a mutex plus one ``Event`` per
+in-flight call) so it slots under any executor: the asyncio server runs
+leaders and followers on its worker thread pool, and plain
+multi-threaded code can use it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, TypeVar
+
+__all__ = ["CoalescerStats", "SingleFlight"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class CoalescerStats:
+    """Point-in-time counters of one :class:`SingleFlight`."""
+
+    leaders: int
+    followers: int
+    in_flight: int
+
+    @property
+    def calls(self) -> int:
+        """Total :meth:`SingleFlight.do` invocations."""
+        return self.leaders + self.followers
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-friendly representation (used by the ``stats`` verb)."""
+        return {
+            "leaders": self.leaders,
+            "followers": self.followers,
+            "calls": self.calls,
+            "in_flight": self.in_flight,
+        }
+
+
+class _Call:
+    """Shared state of one in-flight computation."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key deduplication of concurrent identical computations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Call] = {}
+        self._leaders = 0
+        self._followers = 0
+
+    def do(self, key: Hashable, fn: Callable[[], T]) -> T:
+        """Run ``fn`` once per key among all concurrent callers.
+
+        Exactly one concurrent caller per key executes ``fn``; the rest
+        block until it finishes and receive the same result (or the
+        same raised exception).
+        """
+        with self._lock:
+            call = self._inflight.get(key)
+            if call is None:
+                call = _Call()
+                self._inflight[key] = call
+                self._leaders += 1
+                is_leader = True
+            else:
+                self._followers += 1
+                is_leader = False
+        if not is_leader:
+            call.done.wait()
+            if call.error is not None:
+                raise call.error
+            return call.value
+        try:
+            call.value = fn()
+        except BaseException as error:
+            call.error = error
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            call.done.set()
+        return call.value
+
+    def stats(self) -> CoalescerStats:
+        """Snapshot the leader/follower counters."""
+        with self._lock:
+            return CoalescerStats(
+                leaders=self._leaders,
+                followers=self._followers,
+                in_flight=len(self._inflight),
+            )

@@ -1,0 +1,196 @@
+"""Multi-tenant artifact registry with atomic hot-reload.
+
+A :class:`StoreRegistry` maps tenant names to loaded
+:class:`~repro.stats.store.StatisticsStore` artifacts and the
+:class:`~repro.service.session.EstimationSession` serving each of them.
+Reads are lock-free snapshots (a single dict lookup of an immutable
+:class:`TenantEntry`); writes — loading a tenant, hot-reloading a new
+artifact version — build the replacement entry entirely off to the side
+and publish it with one atomic reference swap under a small mutex.  An
+in-flight request keeps serving from the entry it looked up, so swapping
+a tenant's artifact mid-traffic can never fail a request that was
+already admitted: old and new sessions coexist until the last reader of
+the old one finishes.
+
+Hot-reload validates the incoming artifact before the swap: the
+manifest must parse (format-version checked by
+:meth:`StatisticsStore.load`) and its dataset fingerprint must match the
+version currently served — a registry refuses to silently repoint a
+tenant at statistics of a *different* dataset unless the caller passes
+``allow_fingerprint_change=True`` (the "this tenant's data really was
+regenerated" escape hatch).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import DatasetError
+from repro.service.session import EstimationSession
+from repro.stats.store import StatisticsStore
+
+__all__ = ["TenantEntry", "StoreRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantEntry:
+    """One immutable (store, session) version a tenant serves from.
+
+    Entries are never mutated after publication; a reload publishes a
+    brand-new entry with ``generation + 1``.  The generation therefore
+    keys anything version-scoped (e.g. single-flight coalescing keys)
+    so work started against an old version never mixes with the new.
+    """
+
+    name: str
+    path: Path
+    store: StatisticsStore
+    session: EstimationSession
+    generation: int
+
+    @property
+    def fingerprint(self) -> str:
+        """The dataset fingerprint recorded in the artifact manifest."""
+        return self.store.manifest.dataset_fingerprint
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-friendly summary used by the ``stats`` verb."""
+        manifest = self.store.manifest
+        return {
+            "path": str(self.path),
+            "generation": self.generation,
+            "dataset": manifest.dataset_name or None,
+            "fingerprint": manifest.dataset_fingerprint,
+            "h": manifest.h,
+            "molp_h": manifest.molp_h,
+            "complete": manifest.complete,
+            "catalogs": list(manifest.catalogs),
+            "cache": self.session.stats().as_dict(),
+        }
+
+
+class StoreRegistry:
+    """Named, hot-reloadable statistics stores for a serving process."""
+
+    def __init__(self, **session_kwargs: Any):
+        #: Keyword arguments forwarded to every ``store.session(...)``
+        #: (e.g. LRU capacities); fixed for the registry's lifetime so
+        #: a reloaded tenant serves with the same cache configuration.
+        self._session_kwargs = dict(session_kwargs)
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Reads (lock-free snapshots)
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> TenantEntry | None:
+        """The tenant's current entry, or None when unknown."""
+        return self._tenants.get(name)
+
+    def names(self) -> list[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant manifest + session-cache snapshot."""
+        snapshot = dict(self._tenants)
+        return {name: entry.describe() for name, entry in sorted(snapshot.items())}
+
+    # ------------------------------------------------------------------
+    # Writes (atomic publication)
+    # ------------------------------------------------------------------
+    def _build_entry(
+        self, name: str, path: str | Path, generation: int
+    ) -> TenantEntry:
+        path = Path(path)
+        store = StatisticsStore.load(path)
+        session = store.session(**self._session_kwargs)
+        return TenantEntry(
+            name=name,
+            path=path,
+            store=store,
+            session=session,
+            generation=generation,
+        )
+
+    def load(self, name: str, path: str | Path) -> TenantEntry:
+        """Register a tenant from an artifact directory (generation 1).
+
+        Raises :class:`~repro.errors.DatasetError` when the directory or
+        its manifest is missing/invalid, and when the tenant name is
+        already taken (use :meth:`reload` to replace a live tenant).
+        """
+        entry = self._build_entry(name, path, generation=1)
+        with self._lock:
+            if name in self._tenants:
+                raise DatasetError(
+                    f"tenant {name!r} is already registered; use reload to "
+                    "replace its artifact"
+                )
+            self._publish(name, entry)
+        return entry
+
+    def reload(
+        self,
+        name: str,
+        path: str | Path | None = None,
+        allow_fingerprint_change: bool = False,
+    ) -> TenantEntry:
+        """Atomically swap a tenant to a (possibly new) artifact version.
+
+        The replacement is loaded and validated entirely before the
+        swap, so a bad artifact leaves the old version serving
+        untouched.  ``path=None`` re-reads the tenant's current
+        directory (picking up an in-place artifact refresh).
+        """
+        current = self._tenants.get(name)
+        if current is None:
+            raise DatasetError(
+                f"cannot reload unknown tenant {name!r}; "
+                f"registered tenants: {self.names()}"
+            )
+        target = Path(path) if path is not None else current.path
+        entry = self._build_entry(name, target, current.generation + 1)
+        if (
+            not allow_fingerprint_change
+            and entry.fingerprint != current.fingerprint
+        ):
+            raise DatasetError(
+                f"refusing to reload tenant {name!r}: artifact {target} was "
+                f"built from a different dataset (fingerprint "
+                f"{entry.fingerprint}, currently serving "
+                f"{current.fingerprint}); pass allow_fingerprint_change to "
+                "override"
+            )
+        with self._lock:
+            live = self._tenants.get(name)
+            if live is None:
+                raise DatasetError(
+                    f"tenant {name!r} was removed during reload"
+                )
+            if live.generation >= entry.generation:
+                # A concurrent reload won the race; republish on top of
+                # it rather than rolling the generation backwards.
+                entry = TenantEntry(
+                    name=entry.name,
+                    path=entry.path,
+                    store=entry.store,
+                    session=entry.session,
+                    generation=live.generation + 1,
+                )
+            self._publish(name, entry)
+        return entry
+
+    def _publish(self, name: str, entry: TenantEntry) -> None:
+        # Replace the whole dict so readers only ever see a fully
+        # consistent mapping (dict reads are atomic under the GIL, but
+        # swapping the reference keeps the invariant obvious).
+        tenants = dict(self._tenants)
+        tenants[name] = entry
+        self._tenants = tenants

@@ -1,0 +1,621 @@
+"""The asyncio estimation server: admission control over a store registry.
+
+Architecture (one process, one event loop)::
+
+      TCP clients ──NDJSON──▶ asyncio loop ──▶ admission control
+                                                 │  bounded in-flight +
+                                                 │  queue, per-request
+                                                 │  deadline, shedding
+                                                 ▼
+                                          single-flight coalescer
+                                                 │  (tenant, generation,
+                                                 │   shape, spec)
+                                                 ▼
+                                     worker threads ──▶ EstimationSession
+                                                        (per tenant, from
+                                                         StoreRegistry)
+
+    The loop only parses lines and routes; estimation is CPU-bound
+    synchronous code and runs on a small thread pool.  Admission is
+    enforced *before* the pool: at most ``max_inflight`` requests
+    compute concurrently, at most ``queue_limit`` more wait, and
+    anything beyond that is shed immediately with the ``overloaded``
+    error code instead of queueing unboundedly.  Every estimate request
+    carries a deadline (its own ``deadline_ms`` or the server default)
+    that covers queue time too, so a request that would have waited past
+    its deadline under load turns into ``deadline_exceeded`` rather than
+    a zombie.
+
+Responses are bit-identical to in-process
+:meth:`~repro.service.session.EstimationSession.estimate_batch` floats:
+the session computes from the canonical pattern and JSON round-trips
+doubles exactly (see :mod:`repro.server.protocol`).  Hot-reloading a
+tenant (the ``reload`` verb) swaps its registry entry atomically;
+requests admitted before the swap finish on the old session, requests
+after it use the new one — nothing in between can observe a torn state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DatasetError, ReproError
+from repro.query.canonical import canonical_key
+from repro.query.parser import parse_pattern
+from repro.query.pattern import QueryPattern
+from repro.server import protocol
+from repro.server.coalescer import SingleFlight
+from repro.server.protocol import ProtocolError, Request
+from repro.server.registry import StoreRegistry, TenantEntry
+from repro.service.session import EstimatorSpec
+
+__all__ = ["ServerConfig", "EstimationServer", "ThreadedServer"]
+
+#: Latency histogram bucket upper bounds, in milliseconds.
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`EstimationServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; read it back from ``address``
+    max_inflight: int = 8
+    queue_limit: int = 64
+    default_deadline_ms: float = 30_000.0
+    #: Seconds :meth:`EstimationServer.stop` waits for admitted requests
+    #: to drain before force-closing connections.
+    shutdown_grace_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
+
+
+class _LatencyHistogram:
+    """Fixed-bucket latency histogram (counts per ``<= bound`` bucket)."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self._sum_ms = 0.0
+        self._max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self._sum_ms += ms
+        self._max_ms = max(self._max_ms, ms)
+        for position, bound in enumerate(LATENCY_BUCKETS_MS):
+            if ms <= bound:
+                self._counts[position] += 1
+                return
+        self._counts[-1] += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        buckets = {
+            f"<={bound}ms": count
+            for bound, count in zip(LATENCY_BUCKETS_MS, self._counts)
+        }
+        buckets[f">{LATENCY_BUCKETS_MS[-1]}ms"] = self._counts[-1]
+        return {
+            "buckets": buckets,
+            "sum_ms": self._sum_ms,
+            "max_ms": self._max_ms,
+        }
+
+
+@dataclass
+class _TenantMetrics:
+    """Request accounting for one tenant (mutated on the loop only)."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: Counter = field(default_factory=Counter)
+    estimator_errors: int = 0
+    latency: _LatencyHistogram = field(default_factory=_LatencyHistogram)
+
+    def observe(self, response: dict[str, Any], seconds: float) -> None:
+        self.requests += 1
+        self.latency.observe(seconds)
+        if response.get("ok"):
+            self.ok += 1
+            if response["result"].get("errors"):
+                self.estimator_errors += 1
+        else:
+            self.errors[response["error"]["code"]] += 1
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": dict(self.errors),
+            "responses_with_estimator_errors": self.estimator_errors,
+            "latency_ms": self.latency.as_dict(),
+        }
+
+
+class EstimationServer:
+    """One serving process: registry + coalescer + admission control."""
+
+    def __init__(
+        self, registry: StoreRegistry, config: ServerConfig | None = None
+    ):
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self.coalescer = SingleFlight()
+        # One spare worker beyond the admission cap so ``reload`` (which
+        # does disk I/O on the pool) cannot starve behind estimates.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight + 1,
+            thread_name_prefix="repro-serve",
+        )
+        self._semaphore: asyncio.Semaphore | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._pending_shutdown = False
+        self._draining = False
+        self._started_at = 0.0
+        # Admission counters; all mutated on the event loop thread only.
+        self._admitted = 0
+        self._running = 0
+        self._abandoned = 0
+        self._shed_total = 0
+        self._deadline_total = 0
+        self._verb_counts: Counter = Counter()
+        self._tenant_metrics: dict[str, _TenantMetrics] = {}
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns (host, port)."""
+        self._semaphore = asyncio.Semaphore(self.config.max_inflight)
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._started_at = time.monotonic()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful shutdown (callable from the loop thread)."""
+        self._draining = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` verb or :meth:`request_shutdown`."""
+        assert self._shutdown_event is not None
+        await self._shutdown_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight requests, release the pool."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.shutdown_grace_seconds
+        while self._admitted > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            writer.close()
+        # Let the connection handlers observe EOF and unwind before the
+        # loop closes, so shutdown never logs spurious cancellations.
+        pending = [task for task in self._conn_tasks if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=1.0)
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the stream limit: answer once, drop
+                    # the connection (framing is lost beyond this point).
+                    writer.write(
+                        protocol.encode_line(
+                            protocol.error_response(
+                                None,
+                                protocol.INVALID_REQUEST,
+                                "request line exceeds "
+                                f"{protocol.MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                writer.write(protocol.encode_line(response))
+                await writer.drain()
+                if self._pending_shutdown:
+                    # The shutdown response is on the wire; now wake the
+                    # serve loop so it can drain and exit cleanly.
+                    self._pending_shutdown = False
+                    self.request_shutdown()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict[str, Any]:
+        started = time.perf_counter()
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as error:
+            self._verb_counts["_unparsed"] += 1
+            return protocol.error_response(None, error.code, error.message)
+        self._verb_counts[request.verb] += 1
+        try:
+            if request.verb == "ping":
+                response = protocol.ok_response(
+                    request.id,
+                    {"pong": True, "tenants": self.registry.names()},
+                )
+            elif request.verb == "stats":
+                response = protocol.ok_response(
+                    request.id, self.stats_result()
+                )
+            elif request.verb == "shutdown":
+                self._draining = True
+                self._pending_shutdown = True
+                response = protocol.ok_response(
+                    request.id, {"shutting_down": True}
+                )
+            elif request.verb == "reload":
+                response = await self._handle_reload(request)
+            else:
+                response = await self._handle_estimate(request)
+        except ProtocolError as error:
+            response = protocol.error_response(
+                request.id, error.code, error.message
+            )
+        except Exception as error:  # bug guard: never kill the connection
+            response = protocol.error_response(
+                request.id,
+                protocol.INTERNAL_ERROR,
+                f"{type(error).__name__}: {error}",
+            )
+        if (
+            request.verb == "estimate"
+            and request.tenant is not None
+            and self.registry.get(request.tenant) is not None
+        ):
+            metrics = self._tenant_metrics.setdefault(
+                request.tenant, _TenantMetrics()
+            )
+            metrics.observe(response, time.perf_counter() - started)
+        return response
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    async def _handle_estimate(self, request: Request) -> dict[str, Any]:
+        if self._draining:
+            raise ProtocolError(
+                protocol.SHUTTING_DOWN, "server is shutting down"
+            )
+        capacity = self.config.max_inflight + self.config.queue_limit
+        if self._admitted >= capacity:
+            self._shed_total += 1
+            raise ProtocolError(
+                protocol.OVERLOADED,
+                f"server is at capacity ({self._admitted} requests admitted, "
+                f"limit {capacity}); retry later",
+            )
+        deadline_ms = request.deadline_ms or self.config.default_deadline_ms
+        self._admitted += 1
+        try:
+            return await asyncio.wait_for(
+                self._estimate_admitted(request), timeout=deadline_ms / 1000.0
+            )
+        except asyncio.TimeoutError:
+            self._deadline_total += 1
+            raise ProtocolError(
+                protocol.DEADLINE_EXCEEDED,
+                f"request exceeded its {deadline_ms:g} ms deadline "
+                "(including queue time)",
+            ) from None
+        finally:
+            self._admitted -= 1
+
+    async def _estimate_admitted(self, request: Request) -> dict[str, Any]:
+        assert request.tenant is not None and request.query is not None
+        entry = self.registry.get(request.tenant)
+        if entry is None:
+            raise ProtocolError(
+                protocol.UNKNOWN_TENANT,
+                f"unknown tenant {request.tenant!r}; registered tenants: "
+                f"{self.registry.names()}",
+            )
+        specs: list[EstimatorSpec] = []
+        seen: set[str] = set()
+        for name in request.estimators:
+            try:
+                spec = EstimatorSpec.from_name(name)
+            except ValueError as error:
+                raise ProtocolError(protocol.UNKNOWN_ESTIMATOR, str(error))
+            if spec.name not in seen:
+                seen.add(spec.name)
+                specs.append(spec)
+        try:
+            pattern = parse_pattern(request.query)
+        except ReproError as error:
+            raise ProtocolError(
+                protocol.MALFORMED_QUERY, f"malformed query: {error}"
+            )
+        for spec in specs:
+            try:
+                entry.session.validate_spec(spec)
+            except ValueError as error:
+                raise ProtocolError(protocol.UNSUPPORTED_SPEC, str(error))
+        assert self._semaphore is not None
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        await self._semaphore.acquire()
+        self._running += 1
+
+        def release_slot() -> None:
+            self._running -= 1
+            self._semaphore.release()
+
+        future = loop.run_in_executor(
+            self._executor, self._compute, entry, pattern, specs
+        )
+        try:
+            # Shielded so a deadline cancellation reaches *us*, not the
+            # executor wrapper: the worker thread cannot be interrupted,
+            # and cancelling the wrapper would fire its done-callbacks
+            # immediately instead of when the thread actually finishes.
+            estimates, errors = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            if future.done():
+                release_slot()
+            else:
+                # The deadline expired but the thread is still
+                # computing: keep its admission slot held until it
+                # finishes, so the pool never over-commits and
+                # queue_depth stays honest.  `abandoned` makes these
+                # zombies visible in the stats verb.
+                self._abandoned += 1
+
+                def on_done(done_future: asyncio.Future) -> None:
+                    self._abandoned -= 1
+                    release_slot()
+                    if not done_future.cancelled():
+                        done_future.exception()  # consume, never log
+
+                future.add_done_callback(on_done)
+            raise
+        except BaseException:
+            release_slot()  # the computation itself raised; slot is free
+            raise
+        release_slot()
+        return protocol.ok_response(
+            request.id,
+            {
+                "tenant": entry.name,
+                "generation": entry.generation,
+                "query": request.query,
+                "estimates": estimates,
+                "errors": errors,
+                "seconds": time.perf_counter() - started,
+            },
+        )
+
+    def _compute(
+        self,
+        entry: TenantEntry,
+        pattern: QueryPattern,
+        specs: list[EstimatorSpec],
+    ) -> tuple[dict[str, float], dict[str, str]]:
+        """Worker-thread body: coalesced estimates for every spec.
+
+        The single-flight key pins the tenant *generation*, so work
+        started against an old artifact version never coalesces with
+        requests served by a hot-reloaded one.  ``estimate_one``
+        captures per-query data failures as values, so followers share
+        the leader's error string exactly as they share its float.
+        """
+        shape = canonical_key(pattern)
+        estimates: dict[str, float] = {}
+        errors: dict[str, str] = {}
+        for spec in specs:
+            key = (entry.name, entry.generation, shape, spec.name)
+            item = self.coalescer.do(
+                key, lambda: entry.session.estimate_one(pattern, spec)
+            )
+            if item.ok:
+                estimates[spec.name] = item.estimate
+            else:
+                errors[spec.name] = item.error
+        return estimates, errors
+
+    async def _handle_reload(self, request: Request) -> dict[str, Any]:
+        assert request.tenant is not None
+        if self.registry.get(request.tenant) is None:
+            raise ProtocolError(
+                protocol.UNKNOWN_TENANT,
+                f"unknown tenant {request.tenant!r}; registered tenants: "
+                f"{self.registry.names()}",
+            )
+        loop = asyncio.get_running_loop()
+
+        def work() -> TenantEntry:
+            return self.registry.reload(
+                request.tenant,
+                path=request.path,
+                allow_fingerprint_change=request.allow_fingerprint_change,
+            )
+
+        try:
+            entry = await loop.run_in_executor(self._executor, work)
+        except DatasetError as error:
+            raise ProtocolError(protocol.RELOAD_FAILED, str(error))
+        return protocol.ok_response(
+            request.id,
+            {
+                "tenant": entry.name,
+                "generation": entry.generation,
+                "path": str(entry.path),
+                "fingerprint": entry.fingerprint,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats_result(self) -> dict[str, Any]:
+        """The ``stats`` verb payload (also handy in-process)."""
+        tenants = self.registry.stats()
+        for name, payload in tenants.items():
+            metrics = self._tenant_metrics.get(name)
+            payload["requests"] = (
+                metrics.as_dict()
+                if metrics is not None
+                else _TenantMetrics().as_dict()
+            )
+        return {
+            "uptime_seconds": (
+                time.monotonic() - self._started_at if self._started_at else 0.0
+            ),
+            "tenants": tenants,
+            "admission": {
+                "max_inflight": self.config.max_inflight,
+                "queue_limit": self.config.queue_limit,
+                "admitted": self._admitted,
+                "running": self._running,
+                "abandoned": self._abandoned,
+                "queue_depth": max(self._admitted - self._running, 0),
+                "shed_total": self._shed_total,
+                "deadline_exceeded_total": self._deadline_total,
+            },
+            "coalescer": self.coalescer.stats().as_dict(),
+            "requests": {
+                "total": sum(self._verb_counts.values()),
+                "by_verb": dict(self._verb_counts),
+            },
+        }
+
+
+class ThreadedServer:
+    """An :class:`EstimationServer` on a background thread's event loop.
+
+    The in-process harness behind the integration tests and the load
+    benchmark: ``start()`` returns the bound (host, port), ``stop()``
+    performs the same graceful drain as the ``shutdown`` verb.  Usable
+    as a context manager.
+    """
+
+    def __init__(
+        self, registry: StoreRegistry, config: ServerConfig | None = None
+    ):
+        self.registry = registry
+        self.config = config or ServerConfig()
+        self.server: EstimationServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    def start(self, timeout: float = 30.0) -> tuple[str, int]:
+        """Start serving; returns the bound (host, port)."""
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("estimation server failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.host is not None and self.port is not None
+        return self.host, self.port
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surfaced by start() or ignored
+            if not self._ready.is_set():
+                self._startup_error = error
+                self._ready.set()
+
+    async def _main(self) -> None:
+        server = EstimationServer(self.registry, self.config)
+        try:
+            self.host, self.port = await server.start()
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            return
+        self.server = server
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await server.run_until_shutdown()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully shut the server down and join its thread."""
+        if self._thread is None:
+            return
+        if (
+            self._loop is not None
+            and self.server is not None
+            and self._thread.is_alive()
+        ):
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ThreadedServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -361,8 +361,13 @@ class EstimationSession:
                 )
             return self._catalog
 
-    def _validate_spec(self, spec: EstimatorSpec) -> None:
-        """Reject specs this session cannot serve (caller error)."""
+    def validate_spec(self, spec: EstimatorSpec) -> None:
+        """Reject specs this session cannot serve (caller error).
+
+        Raises ``ValueError`` — the request is misconfigured, not a
+        per-query data problem.  The server maps this onto its
+        ``unsupported_spec`` wire error before admitting a request.
+        """
         if spec.use_cycle_rates and self.cycle_rates is None:
             raise ValueError(
                 f"spec {spec.name!r} needs cycle rates but the session has none"
@@ -385,7 +390,7 @@ class EstimationSession:
         fresh estimator would (errors are never cached).
         """
         spec = EstimatorSpec.coerce(spec)
-        self._validate_spec(spec)
+        self.validate_spec(spec)
         key = (canonical_key(pattern), spec)
         cached = self._estimates.get(key)
         if cached is not None:
@@ -408,6 +413,34 @@ class EstimationSession:
                 value = molp_bound(shape, self._degree_catalog())
         self._estimates.put(key, value)
         return value
+
+    def estimate_one(
+        self, pattern: QueryPattern, spec: EstimatorSpec | str = "max-hop-max"
+    ) -> BatchItem:
+        """One (query, spec) cell with errors captured, not raised.
+
+        The coalescing-friendly single-item entry point the network
+        server fans out over: per-query data failures come back as
+        :attr:`BatchItem.error` (exactly as a batch cell would report
+        them) while spec misconfiguration still raises ``ValueError``
+        up front.  Thread-safe, like :meth:`estimate`.
+        """
+        spec = EstimatorSpec.coerce(spec)
+        self.validate_spec(spec)
+        started = time.perf_counter()
+        try:
+            value: float | None = self.estimate(pattern, spec)
+            error = None
+        except ReproError as exc:
+            value = None
+            error = f"{type(exc).__name__}: {exc}"
+        return BatchItem(
+            index=0,
+            estimator=spec.name,
+            estimate=value,
+            error=error,
+            seconds=time.perf_counter() - started,
+        )
 
     def estimator(self, spec: EstimatorSpec | str) -> SessionEstimator:
         """An ``EstimatorLike`` adapter serving one spec from this session."""
@@ -440,7 +473,7 @@ class EstimationSession:
         # reject it before fan-out so it cannot surface as a mid-batch
         # ValueError escaping the per-cell ReproError capture.
         for spec in spec_objs:
-            self._validate_spec(spec)
+            self.validate_spec(spec)
         tasks = [
             (index, pattern, spec)
             for index, pattern in enumerate(patterns)
@@ -483,7 +516,13 @@ class EstimationSession:
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> SessionStats:
-        """Hit/miss/eviction snapshot of both caches."""
+        """Hit/miss/eviction snapshot of both caches.
+
+        Thread-safe: each cache snapshots its counters under its own
+        lock (the two snapshots are not taken atomically together, so a
+        concurrent estimate may land between them — fine for the
+        monitoring/introspection surfaces this feeds).
+        """
         return SessionStats(
             skeletons=self._skeletons.stats(),
             estimates=self._estimates.stats(),

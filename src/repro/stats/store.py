@@ -39,7 +39,7 @@ from repro.stats.artifact import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.session import EstimationSession
 
-__all__ = ["StatisticsStore", "inspect_artifact"]
+__all__ = ["StatisticsStore", "inspect_artifact", "human_bytes"]
 
 
 @dataclass
@@ -129,6 +129,16 @@ class StatisticsStore:
         graph-free.
         """
         directory = Path(directory)
+        if not directory.is_dir():
+            raise DatasetError(
+                f"statistics artifact directory {directory} does not exist "
+                "(build one with 'repro stats build --out DIR')"
+            )
+        if not (directory / MANIFEST_FILE).is_file():
+            raise DatasetError(
+                f"{directory} is not a statistics artifact directory: it has "
+                f"no {MANIFEST_FILE} (build one with 'repro stats build')"
+            )
         manifest = StoreManifest.load(directory)
         if graph is not None:
             fingerprint = dataset_fingerprint(graph)
@@ -153,8 +163,14 @@ class StatisticsStore:
             )
         sumrdf = None
         if "sumrdf" in manifest.catalogs:
-            with np.load(directory / CATALOG_FILES["sumrdf"]) as data:
-                sumrdf = SumRdfEstimator.from_artifact(dict(data.items()))
+            try:
+                with np.load(directory / CATALOG_FILES["sumrdf"]) as data:
+                    sumrdf = SumRdfEstimator.from_artifact(dict(data.items()))
+            except OSError as error:
+                raise DatasetError(
+                    f"statistics artifact is missing or has a corrupt "
+                    f"{CATALOG_FILES['sumrdf']}: {error}"
+                )
         cycle_rates = None
         if "cycle_rates" in manifest.catalogs:
             cycle_rates = CycleClosingRates.from_artifact(
@@ -195,19 +211,46 @@ def _read_json(path: Path) -> dict:
     return payload
 
 
+def human_bytes(size: int) -> str:
+    """``1234567`` → ``"1.2 MB"`` (decimal units, one decimal place)."""
+    value = float(size)
+    for unit in ("B", "kB", "MB", "GB"):
+        # Threshold on the *rendered* value so 999_999 B is "1.0 MB",
+        # never the nonsensical "1000.0 kB".
+        if round(value, 1) < 1000 or unit == "GB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")
+
+
 def inspect_artifact(directory: str | Path) -> dict:
-    """Manifest plus per-catalog entry counts and on-disk sizes."""
+    """Manifest plus per-catalog entry counts and on-disk sizes.
+
+    The size report is the operator's check of the paper's "sub-MB
+    summaries" claim: ``files`` maps each artifact file to its byte
+    count (plus entry counts for JSON catalogs), ``catalogs`` keys the
+    same sizes by catalog name with human-readable values, and
+    ``total_bytes``/``total_human`` aggregate the whole directory.
+    """
     directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(
+            f"statistics artifact directory {directory} does not exist"
+        )
     manifest = StoreManifest.load(directory)
     report: dict = {"directory": str(directory), **manifest.to_payload()}
     files: dict[str, dict] = {}
+    catalogs: dict[str, dict] = {}
     total = 0
-    for name in [MANIFEST_FILE] + [
-        CATALOG_FILES[catalog] for catalog in manifest.catalogs
+    for catalog, name in [("manifest", MANIFEST_FILE)] + [
+        (catalog, CATALOG_FILES[catalog]) for catalog in manifest.catalogs
     ]:
         path = directory / name
         if not path.exists():
             files[name] = {"missing": True}
+            catalogs[catalog] = {"file": name, "missing": True}
             continue
         size = path.stat().st_size
         total += size
@@ -218,6 +261,17 @@ def inspect_artifact(directory: str | Path) -> dict:
                 if field in payload:
                     entry["entries"] = len(payload[field])
         files[name] = entry
+        catalogs[catalog] = {
+            "file": name,
+            "bytes": size,
+            "human": human_bytes(size),
+            **(
+                {"entries": entry["entries"]} if "entries" in entry else {}
+            ),
+        }
     report["files"] = files
+    report["catalogs_sizes"] = catalogs
     report["total_bytes"] = total
+    report["total_human"] = human_bytes(total)
+    report["sub_mb"] = total < 1_000_000
     return report

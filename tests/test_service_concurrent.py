@@ -1,0 +1,125 @@
+"""Concurrent ``estimate_batch`` under a tiny LRU (the thrash test).
+
+Satellite acceptance: with both caches capped at two entries, many
+threads and heavily duplicated shapes, the session must (a) raise
+nothing, (b) return exactly the sequential run's floats, and (c) keep
+its cache counters consistent — evictions churn correctness-invisibly.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.query.canonical import canonical_key
+from repro.service.session import EstimationSession
+
+SPECS = ["max-hop-max", "all-hops-avg", "MOLP"]
+
+
+@pytest.fixture(scope="module")
+def workload(small_random_graph):
+    """~60 queries over 6 distinct shapes (renamed duplicates, shuffled)."""
+    from repro.query.parser import parse_pattern
+
+    templates = [
+        "a -[L0]-> b",
+        "a -[L0]-> b -[L1]-> c",
+        "a -[L1]-> b -[L2]-> c",
+        "a -[L0]-> b -[L1]-> c -[L2]-> d",
+        "a -[L2]-> b, a -[L3]-> c",
+        "a -[L0]-> b, c -[L1]-> b",
+    ]
+    rng = random.Random(7)
+    queries = []
+    for round_number in range(10):
+        for position, template in enumerate(templates):
+            text = template
+            for variable in "abcd":
+                text = text.replace(
+                    f"{variable} ", f"v{round_number}_{position}_{variable} "
+                ).replace(
+                    f"> {variable}", f"> v{round_number}_{position}_{variable}"
+                )
+            queries.append(parse_pattern(text))
+    rng.shuffle(queries)
+    return queries
+
+
+@pytest.fixture(scope="module")
+def sequential_reference(small_random_graph, workload):
+    session = EstimationSession(small_random_graph, h=3, molp_h=2)
+    return session.estimate_batch(workload, specs=SPECS, max_workers=1)
+
+
+def tiny_session(graph):
+    return EstimationSession(
+        graph, h=3, molp_h=2, skeleton_capacity=2, estimate_capacity=2
+    )
+
+
+class TestTinyLruUnderThreads:
+    def test_batch_matches_sequential_exactly(
+        self, small_random_graph, workload, sequential_reference
+    ):
+        session = tiny_session(small_random_graph)
+        batch = session.estimate_batch(workload, specs=SPECS, max_workers=16)
+        assert batch.ok, f"thrashed batch failed: {batch.failures[:3]}"
+        for index in range(len(workload)):
+            for spec in SPECS:
+                assert (
+                    batch.item(index, spec).estimate
+                    == sequential_reference.item(index, spec).estimate
+                ), f"query {index} spec {spec} diverged under eviction"
+
+    def test_raw_threads_no_exceptions_and_consistent_counters(
+        self, small_random_graph, workload, sequential_reference
+    ):
+        session = tiny_session(small_random_graph)
+        expected = {
+            (index, spec): sequential_reference.item(index, spec).estimate
+            for index in range(len(workload))
+            for spec in SPECS
+        }
+        errors: list[Exception] = []
+        barrier = threading.Barrier(16)
+
+        def worker(offset):
+            try:
+                barrier.wait(10)
+                for index in range(offset, len(workload), 16):
+                    for spec in SPECS:
+                        value = session.estimate(workload[index], spec)
+                        assert value == expected[(index, spec)]
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(offset,))
+            for offset in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert errors == [], f"worker raised: {errors[:3]}"
+
+        stats = session.stats()
+        calls = len(workload) * len(SPECS)
+        # Every estimate() performs exactly one estimate-cache lookup.
+        assert stats.estimates.lookups == calls
+        assert stats.estimates.hits + stats.estimates.misses == calls
+        # Optimistic misses are the only skeleton-cache lookups.
+        optimistic_specs = [spec for spec in SPECS if spec != "MOLP"]
+        assert stats.skeletons.lookups <= stats.estimates.misses
+        assert stats.skeletons.lookups >= len(optimistic_specs)
+        for cache in (stats.skeletons, stats.estimates):
+            assert cache.size <= cache.capacity == 2
+            assert cache.evictions <= cache.misses
+        # 6 shapes x 3 specs = 18 distinct estimate keys fought over 2
+        # slots: eviction churn is guaranteed, and survived.
+        distinct_keys = len(
+            {(canonical_key(query), spec) for query in workload for spec in SPECS}
+        )
+        assert distinct_keys == 18
+        assert stats.estimates.evictions >= distinct_keys - 2

@@ -61,12 +61,33 @@ class TestStatsBuild:
         assert report["total_bytes"] > 0
         assert "markov.json" in report["files"]
 
+    def test_inspect_per_catalog_sizes_check_the_sub_mb_claim(
+        self, capsys, artifact_dir
+    ):
+        # Satellite: operators can sanity-check the paper's "sub-MB
+        # tables" claim per dataset from the inspect report alone.
+        code, out, _ = run_cli(capsys, "stats", "inspect", str(artifact_dir))
+        assert code == 0
+        report = json.loads(out)
+        sizes = report["catalogs_sizes"]
+        assert {"manifest", "markov", "degrees"} <= set(sizes)
+        for catalog, entry in sizes.items():
+            assert entry["bytes"] > 0, catalog
+            assert entry["human"].split()[1] in ("B", "kB", "MB")
+        assert sizes["markov"]["entries"] > 0
+        assert report["total_bytes"] == sum(
+            entry["bytes"] for entry in sizes.values()
+        )
+        assert report["total_human"].split()[1] in ("B", "kB", "MB")
+        assert report["sub_mb"] is (report["total_bytes"] < 1_000_000)
+        assert report["sub_mb"] is True  # the example artifact is tiny
+
     def test_inspect_missing_dir_exits_2(self, capsys, tmp_path):
         code, _, err = run_cli(
             capsys, "stats", "inspect", str(tmp_path / "nope")
         )
         assert code == 2
-        assert "manifest" in err
+        assert "does not exist" in err
 
     def test_unknown_subcommand_exits_2(self, capsys):
         code, _, err = run_cli(capsys, "stats", "frobnicate")
@@ -140,4 +161,4 @@ class TestBatchFromStatsDir:
             "-q", "a -[A]-> b",
         )
         assert code == 2
-        assert "manifest" in err
+        assert "does not exist" in err

@@ -290,6 +290,24 @@ class TestBulkBuild:
 
 
 class TestStorePersistence:
+    def test_load_missing_directory_is_friendly(self, tmp_path):
+        # Satellite: a missing artifact directory must be the friendly
+        # DatasetError, never a raw FileNotFoundError.
+        with pytest.raises(DatasetError, match="does not exist"):
+            StatisticsStore.load(tmp_path / "nope")
+
+    def test_load_directory_without_manifest_is_friendly(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(DatasetError, match="manifest.json"):
+            StatisticsStore.load(empty)
+
+    def test_load_missing_sumrdf_npz_is_friendly(self, saved):
+        _, directory = saved
+        (directory / "sumrdf.npz").unlink()
+        with pytest.raises(DatasetError, match="sumrdf.npz"):
+            StatisticsStore.load(directory)
+
     @pytest.fixture()
     def saved(self, cyclic_graph, cyclic_pool, tmp_path):
         store = build_statistics(
