@@ -3,10 +3,11 @@
 ``python benchmarks/run_all.py --json`` runs the execution-engine
 benchmark (vectorized vs legacy cyclic counting), the service
 benchmark (cold-shape ``estimate_batch`` throughput vs the pre-PR
-pipeline) and the server load benchmark (open-loop traffic against the
-network serving tier) and writes ``BENCH_engine.json`` /
-``BENCH_service.json`` / ``BENCH_server.json`` next to this script —
-the perf baseline future PRs diff against.
+pipeline), the server load benchmark (open-loop traffic against the
+network serving tier) and the delta-maintenance benchmark (incremental
+statistics updates vs full rebuild) and writes ``BENCH_engine.json`` /
+``BENCH_service.json`` / ``BENCH_server.json`` / ``BENCH_delta.json``
+next to this script — the perf baseline future PRs diff against.
 Re-run with ``--json`` after perf-relevant changes and commit the
 updated files so the trajectory stays in history.
 
@@ -26,6 +27,7 @@ HERE = Path(__file__).resolve().parent
 sys.path.insert(0, str(HERE.parent / "src"))
 sys.path.insert(0, str(HERE))
 
+import bench_delta_maintenance  # noqa: E402
 import bench_engine_vectorized  # noqa: E402
 import bench_server_load  # noqa: E402
 import bench_service_cold  # noqa: E402
@@ -34,6 +36,7 @@ BENCHES = (
     ("BENCH_engine.json", bench_engine_vectorized),
     ("BENCH_service.json", bench_service_cold),
     ("BENCH_server.json", bench_server_load),
+    ("BENCH_delta.json", bench_delta_maintenance),
 )
 
 

@@ -294,19 +294,51 @@ class StatRelation:
 
     @classmethod
     def from_table(
-        cls, pattern: QueryPattern, table, num_vertices: int
+        cls,
+        pattern: QueryPattern,
+        table,
+        num_vertices: int,
+        columns: tuple[str, ...] | None = None,
     ) -> "StatRelation":
         """A rows-free relation with every degree pair bulk-extracted.
 
         Used by the offline builder: the match table is consumed for its
-        degrees and row count, not retained.
+        degrees and row count, not retained.  ``columns`` renames the
+        table's variables positionally (degree values are
+        renaming-invariant), letting builders store relations under
+        canonical variable names regardless of how the table was grown.
         """
+        columns = table.variables if columns is None else columns
         return cls._stored(
             pattern,
             cardinality=float(table.rows.shape[0]),
-            degrees=all_degree_pairs(table.rows, table.variables, num_vertices),
+            degrees=all_degree_pairs(table.rows, columns, num_vertices),
             num_vertices=num_vertices,
-            columns=table.variables,
+            columns=columns,
+        )
+
+    @classmethod
+    def canonical_from_table(
+        cls, pattern: QueryPattern, table, num_vertices: int
+    ) -> "StatRelation":
+        """:meth:`from_table` stored under canonical variable names.
+
+        The one constructor every statistics *builder* (bulk and
+        incremental alike) uses, so two builds of the same canonical
+        pattern — however its match table was grown — serialize to
+        byte-identical artifacts.
+        """
+        from repro.query.canonical import canonical_pattern
+
+        canon = canonical_pattern(pattern)
+        if canon == pattern:
+            return cls.from_table(pattern, table, num_vertices)
+        mapping = _isomorphism(pattern, canon)
+        return cls.from_table(
+            canon,
+            table,
+            num_vertices,
+            columns=tuple(mapping[v] for v in table.variables),
         )
 
     @classmethod

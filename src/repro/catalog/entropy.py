@@ -20,18 +20,23 @@ import math
 
 import numpy as np
 
-from repro.catalog.degrees import _encode_columns
+from repro.catalog.degrees import _encode_columns, _isomorphism
 from repro.engine.counter import count_pattern
 from repro.engine.join import extend_by_edge, start_table
 from repro.errors import MissingStatisticError, check_format_version
 from repro.graph.digraph import LabeledDiGraph
-from repro.query.canonical import canonical_key
+from repro.query.canonical import canonical_key, canonical_pattern
 from repro.query.pattern import QueryPattern
 from repro.query.shape import spanning_tree_and_closures
 
 __all__ = ["EntropyCatalog", "degree_irregularity", "ENTROPY_FORMAT_VERSION"]
 
-ENTROPY_FORMAT_VERSION = 1
+# Version 2: cache entries are keyed by *canonical* variable names (see
+# _canonical_vars) so they are recomputable from the key alone.  Version-1
+# artifacts keyed entries by request variable names; loading one would
+# silently miss on every lookup, so the version check rejects them with
+# the standard "rebuild the artifact" error instead.
+ENTROPY_FORMAT_VERSION = 2
 
 
 def degree_irregularity(counts: np.ndarray, num_groups: float) -> float:
@@ -46,6 +51,24 @@ def degree_irregularity(counts: np.ndarray, num_groups: float) -> float:
     probabilities = counts / total
     entropy = float(-(probabilities * np.log2(probabilities)).sum())
     return max(math.log2(num_groups) - entropy, 0.0)
+
+
+def _canonical_vars(
+    extension: QueryPattern, intersection_vars: frozenset[str]
+) -> tuple[str, ...]:
+    """The intersection variables translated to canonical names.
+
+    Entries are keyed by ``(canonical pattern key, canonical variable
+    names)`` so the cache is purely shape-addressed: isomorphic
+    requests under different variable namings share one entry
+    (irregularity is renaming-invariant), and the dynamic-graph
+    maintainer can recompute any stored entry from its key alone.
+    """
+    canon = canonical_pattern(extension)
+    if canon == extension:
+        return tuple(sorted(intersection_vars))
+    mapping = _isomorphism(extension, canon)
+    return tuple(sorted(mapping.get(v, v) for v in intersection_vars))
 
 
 class EntropyCatalog:
@@ -76,7 +99,10 @@ class EntropyCatalog:
         """
         if not intersection_vars:
             return 0.0
-        key = (canonical_key(extension), tuple(sorted(intersection_vars)))
+        key = (
+            canonical_key(extension),
+            _canonical_vars(extension, intersection_vars),
+        )
         cached = self._cache.get(key)
         if cached is not None:
             return cached

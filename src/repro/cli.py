@@ -11,8 +11,12 @@ Usage::
     python -m repro batch -q "a -[A]-> b -[B]-> c" -e max-hop-max -e MOLP
     python -m repro batch --stats-dir stats/example -q "a -[A]-> b -[B]-> c"
     python -m repro batch --file queries.txt --dataset hetionet --repeat 3
+    python -m repro updates apply --stats-dir stats/example --updates ops.json
+    python -m repro updates replay --stats-dir stats/example --verify
+    python -m repro updates compact stats/example
     python -m repro serve --tenant example=stats/example --port 7421
     python -m repro query --port 7421 --tenant example -q "a -[A]-> b"
+    python -m repro query --port 7421 --tenant example --apply-deltas
     python -m repro query --port 7421 --stats
 
 Each experiment prints its table; ``--out DIR`` additionally writes one
@@ -33,8 +37,16 @@ artifact/spec mismatch).  ``stats`` uses 0/2 the same way.
 (:mod:`repro.server`) over one or more prebuilt artifacts; ``query`` is
 its blocking network client.  ``query`` extends the ``batch`` taxonomy
 with exit code 3 for transient serving conditions — the server shed the
-request (``overloaded``), the deadline expired, the server is shutting
-down, or it cannot be reached at all — where a retry may succeed.
+request (``overloaded``), the deadline expired (``--timeout`` maps to
+the per-request deadline), the server is shutting down, or it cannot be
+reached at all — where a retry may succeed.
+
+``updates`` is the dynamic-graph plane: ``apply`` maintains an
+artifact's catalogs incrementally under an edge-update batch (appending
+a versioned ``deltas/NNNN.json`` a live server picks up via ``query
+--apply-deltas``), ``replay`` verifies the delta lineage (and, with
+``--verify``, bit-compares against a cold rebuild), and ``compact``
+folds a delta chain into the base files.
 """
 
 from __future__ import annotations
@@ -454,6 +466,210 @@ def run_stats(argv: list[str]) -> int:
     return 0
 
 
+def build_updates_apply_parser() -> argparse.ArgumentParser:
+    """The ``repro updates apply`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro updates apply",
+        description=(
+            "Apply one edge-update batch to a statistics artifact: the "
+            "catalogs are maintained incrementally (bit-identical to a "
+            "cold rebuild on the mutated graph) and a versioned "
+            "deltas/NNNN.json patch is appended for graph-free replay."
+        ),
+    )
+    parser.add_argument("--stats-dir", type=Path, required=True, metavar="DIR",
+                        help="statistics artifact directory to update")
+    parser.add_argument("--updates", type=Path, required=True, metavar="FILE",
+                        help="JSON update file: {'updates': [[op, src, dst, "
+                             "label], ...]} with op '+'/'-'")
+    parser.add_argument("--dataset", choices=DATASET_CHOICES, default=None,
+                        help="base dataset preset (default: the artifact "
+                             "manifest's dataset_name)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="base dataset scale (default: from the manifest)")
+    parser.add_argument("--compact-threshold", type=float, default=0.2,
+                        metavar="FRACTION",
+                        help="fall back to a cold rebuild (compacting the "
+                             "artifact) when the effective update volume "
+                             "exceeds this fraction of the graph's edges "
+                             "(default 0.2; artifacts with workload-primed "
+                             "cycle rates/entropy stay incremental — the "
+                             "report's ledger says so)")
+    parser.add_argument("--indent", action="store_true",
+                        help="pretty-print the JSON report")
+    return parser
+
+
+def build_updates_replay_parser() -> argparse.ArgumentParser:
+    """The ``repro updates replay`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro updates replay",
+        description=(
+            "Replay an artifact's delta lineage: re-derive the mutated "
+            "graph from the base dataset plus the recorded update logs, "
+            "verifying every fingerprint in the chain.  With --verify, "
+            "additionally rebuild the statistics cold from the replayed "
+            "graph and diff them against the artifact (the differential "
+            "gate as a CLI)."
+        ),
+    )
+    parser.add_argument("--stats-dir", type=Path, required=True, metavar="DIR")
+    parser.add_argument("--dataset", choices=DATASET_CHOICES, default=None,
+                        help="base dataset preset (default: from the manifest)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="base dataset scale (default: from the manifest)")
+    parser.add_argument("--verify", action="store_true",
+                        help="cold-rebuild the replayed graph and require "
+                             "bit-identical catalogs (exit 1 on mismatch)")
+    parser.add_argument("--indent", action="store_true")
+    return parser
+
+
+def _updates_base_graph(args: argparse.Namespace, manifest):
+    """Resolve and load the base dataset an artifact was built from."""
+    dataset = args.dataset or manifest.dataset_name
+    if not dataset:
+        raise ReproError(
+            "the artifact manifest records no dataset_name; pass --dataset"
+        )
+    scale = args.scale
+    if scale is None:
+        scale = float(manifest.build_config.get("scale", 1.0))
+    return dataset, scale, load_dataset(dataset, scale)
+
+
+def run_updates(argv: list[str]) -> int:
+    """The ``repro updates`` subcommand; returns a process exit code."""
+    from repro.delta import apply_updates, compact_artifact, replay_graph
+    from repro.delta.maintain import config_from_manifest
+    from repro.delta.updates import UpdateBatch
+    from repro.stats.artifact import StoreManifest
+
+    if not argv or argv[0] not in ("apply", "replay", "compact"):
+        print(
+            "repro updates: expected a subcommand: apply | replay | "
+            "compact DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if argv[0] == "compact":
+        if len(argv) != 2:
+            print("repro updates compact: expected one DIR", file=sys.stderr)
+            return 2
+        try:
+            summary = compact_artifact(argv[1])
+        except ReproError as error:
+            print(f"repro updates compact: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(summary, indent=2))
+        return 0
+    if argv[0] == "apply":
+        args = build_updates_apply_parser().parse_args(argv[1:])
+        try:
+            manifest = StoreManifest.load(args.stats_dir)
+            _, _, base_graph = _updates_base_graph(args, manifest)
+            graph = replay_graph(base_graph, args.stats_dir)
+            store = StatisticsStore.load(args.stats_dir, graph=graph)
+            batch = UpdateBatch.load(args.updates)
+            outcome = apply_updates(
+                store,
+                batch,
+                directory=args.stats_dir,
+                compact_threshold=args.compact_threshold,
+            )
+        except ReproError as error:
+            print(f"repro updates apply: {error}", file=sys.stderr)
+            return 2
+        print(
+            json.dumps(
+                outcome.as_dict(), indent=2 if args.indent else None
+            )
+        )
+        return 0
+    args = build_updates_replay_parser().parse_args(argv[1:])
+    try:
+        manifest = StoreManifest.load(args.stats_dir)
+        dataset, scale, base_graph = _updates_base_graph(args, manifest)
+        graph = replay_graph(base_graph, args.stats_dir)
+    except ReproError as error:
+        print(f"repro updates replay: {error}", file=sys.stderr)
+        return 2
+    report = {
+        "stats_dir": str(args.stats_dir),
+        "dataset": dataset,
+        "scale": scale,
+        "base_fingerprint": manifest.base_fingerprint,
+        "fingerprint": manifest.dataset_fingerprint,
+        "generation": manifest.generation,
+        "compacted_generation": manifest.compacted_generation,
+        "deltas": [
+            {
+                "generation": entry.get("generation"),
+                "file": entry.get("file"),
+                "inserts": entry.get("inserts"),
+                "deletes": entry.get("deletes"),
+                "applied_at": entry.get("applied_at"),
+                "compacted": entry.get("compacted", False),
+            }
+            for entry in manifest.deltas
+        ],
+        "graph": {"vertices": graph.num_vertices, "edges": graph.num_edges},
+    }
+    exit_code = 0
+    if args.verify:
+        from repro.stats import build_statistics
+
+        if manifest.build_config.get("mode") not in (None, "full"):
+            print(
+                "repro updates replay: --verify needs a full-enumeration "
+                "artifact (workload-directed builds have no recorded "
+                "workload to rebuild from)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            loaded = StatisticsStore.load(args.stats_dir)
+            cold = build_statistics(
+                graph,
+                config_from_manifest(manifest),
+                dataset_name=manifest.dataset_name,
+            )
+        except ReproError as error:
+            print(f"repro updates replay: {error}", file=sys.stderr)
+            return 2
+        checks = {
+            "markov": loaded.markov.to_artifact()
+            == cold.markov.to_artifact(),
+            "degrees": loaded.degrees.to_artifact()
+            == cold.degrees.to_artifact(),
+        }
+        if loaded.characteristic_sets is not None:
+            fresh = cold.characteristic_sets
+            checks["characteristic_sets"] = (
+                fresh is not None
+                and loaded.characteristic_sets.to_artifact()
+                == fresh.to_artifact()
+            )
+        report["verified"] = checks
+        # Catalogs present in the artifact that a cross-process cold
+        # rebuild cannot reproduce byte-for-byte are listed explicitly,
+        # never silently passed: SumRDF buckets by the per-process
+        # hash; cycle rates are a resampled statistic; entropy entries
+        # are primed in workload order the artifact does not record.
+        skipped = []
+        if loaded.sumrdf is not None:
+            skipped.append("sumrdf")
+        if loaded.cycle_rates is not None:
+            skipped.append("cycle_rates")
+        if loaded.entropy is not None:
+            skipped.append("entropy")
+        report["skipped"] = skipped
+        if not all(checks.values()):
+            exit_code = 1
+    print(json.dumps(report, indent=2 if args.indent else None))
+    return exit_code
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     """The ``repro serve`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -584,9 +800,16 @@ def build_query_parser() -> argparse.ArgumentParser:
              "repeatable (default: max-hop-max)",
     )
     parser.add_argument("--deadline-ms", type=float, default=None,
-                        help="per-request deadline sent to the server")
-    parser.add_argument("--timeout", type=float, default=60.0,
-                        help="client socket timeout in seconds (default 60)")
+                        help="per-request deadline sent to the server "
+                             "(overrides --timeout)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="client-side deadline in seconds: sent to the "
+                             "server as the per-request deadline (unless "
+                             "--deadline-ms overrides it) and enforced on "
+                             "the socket with a small grace; expiry exits 3 "
+                             "(default: 60s socket timeout, server-default "
+                             "deadline)")
     parser.add_argument("--stats", action="store_true",
                         help="print the server's stats snapshot instead of "
                              "estimating")
@@ -594,6 +817,10 @@ def build_query_parser() -> argparse.ArgumentParser:
                         dest="reload_path", nargs="?", const="",
                         help="hot-reload --tenant from DIR (or its current "
                              "directory when DIR is omitted)")
+    parser.add_argument("--apply-deltas", action="store_true",
+                        help="refresh --tenant live from the delta chain "
+                             "appended to its artifact by "
+                             "'repro updates apply'")
     parser.add_argument("--allow-fingerprint-change", action="store_true",
                         help="let --reload repoint the tenant at an artifact "
                              "of a different dataset")
@@ -617,23 +844,48 @@ def run_query(argv: list[str]) -> int:
     modes = [
         bool(args.stats),
         args.reload_path is not None,
+        bool(args.apply_deltas),
         bool(args.shutdown),
         bool(args.query or args.file),
     ]
     if sum(modes) != 1:
         print(
             "repro query: choose exactly one of --stats, --reload, "
-            "--shutdown, or queries (-q/--file)",
+            "--apply-deltas, --shutdown, or queries (-q/--file)",
             file=sys.stderr,
         )
         return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("repro query: --timeout must be positive", file=sys.stderr)
+        return 2
+    # --timeout is the client-side deadline: it rides to the server as
+    # the per-request deadline (so expiry comes back as a typed
+    # deadline_exceeded, exit 3) while the socket timeout gets a small
+    # grace on top so the server's answer can still arrive; a socket
+    # that stays silent past the grace is ServerUnavailable — exit 3 too.
+    deadline_ms = args.deadline_ms
+    if deadline_ms is None and args.timeout is not None:
+        deadline_ms = args.timeout * 1000.0
+    socket_timeout = 60.0 if args.timeout is None else args.timeout + 2.0
     try:
-        with EstimationClient(args.host, args.port, timeout=args.timeout) as client:
+        with EstimationClient(
+            args.host, args.port, timeout=socket_timeout
+        ) as client:
             if args.stats:
                 print(json.dumps(client.stats(), indent=indent))
                 return 0
             if args.shutdown:
                 print(json.dumps(client.shutdown(), indent=indent))
+                return 0
+            if args.apply_deltas:
+                if args.tenant is None:
+                    print(
+                        "repro query: --apply-deltas needs --tenant",
+                        file=sys.stderr,
+                    )
+                    return 2
+                result = client.apply_deltas(args.tenant)
+                print(json.dumps(result, indent=indent))
                 return 0
             if args.reload_path is not None:
                 if args.tenant is None:
@@ -679,7 +931,7 @@ def run_query(argv: list[str]) -> int:
                     args.tenant,
                     text,
                     estimators=estimators,
-                    deadline_ms=args.deadline_ms,
+                    deadline_ms=deadline_ms,
                 )
                 failed_cells = failed_cells or bool(result.get("errors"))
                 results.append(result)
@@ -707,6 +959,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_batch(argv[1:])
     if argv and argv[0] == "stats":
         return run_stats(argv[1:])
+    if argv and argv[0] == "updates":
+        return run_updates(argv[1:])
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
     if argv and argv[0] == "query":

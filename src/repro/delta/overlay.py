@@ -1,0 +1,216 @@
+"""A mutable edit layer over the immutable :class:`LabeledDiGraph`.
+
+:class:`MutableGraphOverlay` accumulates pending inserts and deletes on
+top of a base graph without touching the base's sorted relation arrays.
+It answers point lookups through the layered view, tracks which labels
+and vertices the pending edits touch (the inputs of the incremental
+statistics maintainers), and :meth:`materialize`\\ s a brand-new
+immutable graph — plus its dataset fingerprint — when a generation is
+sealed.
+
+Invariants (maintained by :meth:`insert`/:meth:`delete`):
+
+* ``pending_inserts ∩ base = ∅``
+* ``pending_deletes ⊆ base``
+* ``pending_inserts ∩ pending_deletes = ∅``
+
+so the overlay's effective delta is always in the normal form
+:func:`repro.delta.updates.normalize_updates` produces.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.delta.updates import DELETE, INSERT, UpdateBatch
+from repro.graph.digraph import LabeledDiGraph
+from repro.stats.artifact import dataset_fingerprint
+
+__all__ = ["MutableGraphOverlay"]
+
+Triple = tuple[int, int, str]
+
+
+class MutableGraphOverlay:
+    """Pending inserts/deletes layered over an immutable base graph."""
+
+    def __init__(self, base: LabeledDiGraph):
+        self.base = base
+        self._inserts: set[Triple] = set()
+        self._deletes: set[Triple] = set()
+
+    # ------------------------------------------------------------------
+    # Edits
+    # ------------------------------------------------------------------
+    def _in_base(self, src: int, dst: int, label: str) -> bool:
+        if label not in self.base:
+            return False
+        n = self.base.num_vertices
+        if src >= n or dst >= n or src < 0 or dst < 0:
+            return False
+        return self.base.relation(label).has_edge(src, dst, n)
+
+    def insert(self, src: int, dst: int, label: str) -> bool:
+        """Stage one edge insert; returns False for a set-semantics no-op."""
+        triple = (int(src), int(dst), str(label))
+        if triple in self._deletes:
+            self._deletes.discard(triple)  # restore the base edge
+            return True
+        if self._in_base(*triple) or triple in self._inserts:
+            return False
+        self._inserts.add(triple)
+        return True
+
+    def delete(self, src: int, dst: int, label: str) -> bool:
+        """Stage one edge delete; returns False for a set-semantics no-op."""
+        triple = (int(src), int(dst), str(label))
+        if triple in self._inserts:
+            self._inserts.discard(triple)
+            return True
+        if not self._in_base(*triple) or triple in self._deletes:
+            return False
+        self._deletes.add(triple)
+        return True
+
+    def apply_batch(self, batch: UpdateBatch) -> int:
+        """Stage a whole batch in order; returns the effective op count."""
+        applied = 0
+        for update in batch:
+            if update.op == INSERT:
+                applied += bool(self.insert(*update.triple))
+            elif update.op == DELETE:
+                applied += bool(self.delete(*update.triple))
+        return applied
+
+    # ------------------------------------------------------------------
+    # Layered reads
+    # ------------------------------------------------------------------
+    @property
+    def pending_inserts(self) -> frozenset[Triple]:
+        """Staged inserts (normal form: none are base edges)."""
+        return frozenset(self._inserts)
+
+    @property
+    def pending_deletes(self) -> frozenset[Triple]:
+        """Staged deletes (normal form: all are base edges)."""
+        return frozenset(self._deletes)
+
+    @property
+    def pending(self) -> int:
+        """Total staged (effective) operations."""
+        return len(self._inserts) + len(self._deletes)
+
+    def has_edge(self, src: int, dst: int, label: str) -> bool:
+        """Membership in the layered view (base + inserts − deletes)."""
+        triple = (int(src), int(dst), str(label))
+        if triple in self._inserts:
+            return True
+        if triple in self._deletes:
+            return False
+        return self._in_base(*triple)
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex-universe size of the layered view (grows with inserts)."""
+        top = self.base.num_vertices - 1
+        for src, dst, _ in self._inserts:
+            top = max(top, src, dst)
+        return top + 1
+
+    @property
+    def num_edges(self) -> int:
+        """Edge count of the layered view."""
+        return self.base.num_edges + len(self._inserts) - len(self._deletes)
+
+    def cardinality(self, label: str) -> int:
+        """``|R_label|`` of the layered view."""
+        count = self.base.cardinality(label)
+        count += sum(1 for t in self._inserts if t[2] == label)
+        count -= sum(1 for t in self._deletes if t[2] == label)
+        return count
+
+    def touched_labels(self) -> frozenset[str]:
+        """Labels with at least one staged insert or delete."""
+        return frozenset(
+            t[2] for t in self._inserts
+        ) | frozenset(t[2] for t in self._deletes)
+
+    def degree_deltas(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Per-label ``(out_degree_delta, in_degree_delta)`` vertex arrays.
+
+        Arrays are sized to the layered view's vertex universe; entry
+        ``v`` is the signed change of ``v``'s out-/in-degree under that
+        label.  This is the per-vertex summary the degree maintainers
+        use to spot which vertices an update generation touched.
+        """
+        n = self.num_vertices
+        deltas: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for triples, sign in ((self._inserts, 1), (self._deletes, -1)):
+            for src, dst, label in triples:
+                out_delta, in_delta = deltas.setdefault(
+                    label,
+                    (np.zeros(n, dtype=np.int64), np.zeros(n, dtype=np.int64)),
+                )
+                out_delta[src] += sign
+                in_delta[dst] += sign
+        return deltas
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def materialize(self) -> LabeledDiGraph:
+        """Seal the pending edits into a fresh immutable graph.
+
+        The overlay itself is left untouched (callers typically discard
+        it after sealing); empty relations vanish, exactly as a
+        from-scratch construction over the same triples would behave.
+        """
+        n = self.num_vertices
+        delete_keys: dict[str, set[int]] = defaultdict(set)
+        for src, dst, label in self._deletes:
+            delete_keys[label].add(src * n + dst)
+        insert_cols: dict[str, tuple[list[int], list[int]]] = defaultdict(
+            lambda: ([], [])
+        )
+        for src, dst, label in self._inserts:
+            bucket = insert_cols[label]
+            bucket[0].append(src)
+            bucket[1].append(dst)
+        arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for label in sorted(set(self.base.labels) | set(insert_cols)):
+            if label in self.base:
+                relation = self.base.relation(label)
+                src = relation.src_by_src
+                dst = relation.dst_by_src
+                doomed = delete_keys.get(label)
+                if doomed:
+                    keys = src * np.int64(n) + dst
+                    keep = ~np.isin(
+                        keys, np.fromiter(doomed, dtype=np.int64)
+                    )
+                    src, dst = src[keep], dst[keep]
+            else:
+                src = np.empty(0, dtype=np.int64)
+                dst = np.empty(0, dtype=np.int64)
+            added = insert_cols.get(label)
+            if added:
+                src = np.concatenate(
+                    [src, np.asarray(added[0], dtype=np.int64)]
+                )
+                dst = np.concatenate(
+                    [dst, np.asarray(added[1], dtype=np.int64)]
+                )
+            arrays[label] = (src, dst)
+        return LabeledDiGraph(n, arrays)
+
+    def fingerprint(self) -> str:
+        """Dataset fingerprint of the materialized view."""
+        return dataset_fingerprint(self.materialize())
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableGraphOverlay(base=|E|={self.base.num_edges}, "
+            f"+{len(self._inserts)}/-{len(self._deletes)})"
+        )

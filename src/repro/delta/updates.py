@@ -1,0 +1,235 @@
+"""Edge-update logs: the input of the dynamic-graph subsystem.
+
+An update is one signed labeled triple — insert or delete of
+``(src, dst, label)`` — and a batch is an ordered sequence of updates
+applied atomically as one *generation*.  Relations are sets, so batch
+application follows set semantics: within a batch the last operation on
+a triple wins, inserting a present edge is a no-op, and deleting an
+absent edge is a no-op.  :func:`normalize_updates` reduces a batch to
+its *effective* delta against a concrete graph — disjoint insert/delete
+triple sets with ``inserts ∩ G = ∅`` and ``deletes ⊆ G`` — which is the
+precondition every incremental maintainer in :mod:`repro.delta.maintain`
+relies on.
+
+The on-disk form is JSON (one object with an ``updates`` array of
+``[op, src, dst, label]`` rows, op ``"+"``/``"-"``); the same rows are
+embedded in each ``deltas/NNNN.json`` artifact so a delta chain can
+re-derive the mutated graph from the base dataset alone.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import DatasetError
+from repro.graph.digraph import LabeledDiGraph
+
+__all__ = [
+    "INSERT",
+    "DELETE",
+    "EdgeUpdate",
+    "UpdateBatch",
+    "normalize_updates",
+    "random_update_batch",
+]
+
+INSERT = "+"
+DELETE = "-"
+
+_OP_ALIASES = {
+    "+": INSERT,
+    "insert": INSERT,
+    "-": DELETE,
+    "delete": DELETE,
+}
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One signed labeled triple: insert or delete of ``(src, dst, label)``."""
+
+    op: str
+    src: int
+    dst: int
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.op not in (INSERT, DELETE):
+            raise DatasetError(
+                f"update op must be {INSERT!r} or {DELETE!r}, got {self.op!r}"
+            )
+        if self.src < 0 or self.dst < 0:
+            raise DatasetError(
+                f"update references negative vertex: {self.as_row()}"
+            )
+
+    @property
+    def triple(self) -> tuple[int, int, str]:
+        """The ``(src, dst, label)`` the update targets."""
+        return (self.src, self.dst, self.label)
+
+    def as_row(self) -> list:
+        """The JSON row form ``[op, src, dst, label]``."""
+        return [self.op, self.src, self.dst, self.label]
+
+    @classmethod
+    def from_row(cls, row) -> "EdgeUpdate":
+        """Parse one ``[op, src, dst, label]`` row (friendly errors)."""
+        try:
+            op, src, dst, label = row
+        except (TypeError, ValueError):
+            raise DatasetError(
+                f"update row must be [op, src, dst, label], got {row!r}"
+            )
+        op = _OP_ALIASES.get(str(op).strip().lower())
+        if op is None:
+            raise DatasetError(
+                f"unknown update op {row[0]!r}; use '+'/'insert' or "
+                "'-'/'delete'"
+            )
+        try:
+            return cls(op, int(src), int(dst), str(label))
+        except (TypeError, ValueError) as error:
+            raise DatasetError(f"invalid update row {row!r}: {error}")
+
+
+class UpdateBatch:
+    """An ordered sequence of edge updates applied as one generation."""
+
+    def __init__(self, updates: Iterable[EdgeUpdate | tuple | list]):
+        normalized: list[EdgeUpdate] = []
+        for update in updates:
+            if isinstance(update, EdgeUpdate):
+                normalized.append(update)
+            else:
+                normalized.append(EdgeUpdate.from_row(list(update)))
+        self.updates: tuple[EdgeUpdate, ...] = tuple(normalized)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self) -> Iterator[EdgeUpdate]:
+        return iter(self.updates)
+
+    def inverted(self) -> "UpdateBatch":
+        """The batch that undoes this one (ops flipped, order reversed)."""
+        return UpdateBatch(
+            EdgeUpdate(
+                DELETE if update.op == INSERT else INSERT,
+                update.src,
+                update.dst,
+                update.label,
+            )
+            for update in reversed(self.updates)
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_rows(self) -> list[list]:
+        """JSON row list, the form embedded in delta artifacts."""
+        return [update.as_row() for update in self.updates]
+
+    def to_payload(self) -> dict:
+        """The standalone update-file JSON body."""
+        return {"kind": "edge_updates", "updates": self.to_rows()}
+
+    @classmethod
+    def from_payload(cls, payload) -> "UpdateBatch":
+        """Parse an update file body (object with ``updates`` or bare list)."""
+        if isinstance(payload, dict):
+            rows = payload.get("updates")
+        else:
+            rows = payload
+        if not isinstance(rows, list):
+            raise DatasetError(
+                "update file must be a JSON list of [op, src, dst, label] "
+                "rows or an object with an 'updates' array"
+            )
+        return cls(rows)
+
+    def save(self, path: str | Path) -> None:
+        """Write the batch as a standalone JSON update file."""
+        Path(path).write_text(
+            json.dumps(self.to_payload(), indent=2), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "UpdateBatch":
+        """Read a batch from :meth:`save` output."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as error:
+            raise DatasetError(f"cannot read update file {path}: {error}")
+        except ValueError as error:
+            raise DatasetError(f"update file {path} is not valid JSON: {error}")
+        return cls.from_payload(payload)
+
+
+def normalize_updates(
+    graph: LabeledDiGraph, batch: UpdateBatch
+) -> tuple[set[tuple[int, int, str]], set[tuple[int, int, str]]]:
+    """The batch's *effective* ``(inserts, deletes)`` against ``graph``.
+
+    Applies set semantics in order (last op per triple wins), then drops
+    inserts of edges already present and deletes of edges absent, so the
+    result satisfies ``inserts ∩ G = ∅``, ``deletes ⊆ G`` and
+    ``inserts ∩ deletes = ∅``.
+    """
+    last_op: dict[tuple[int, int, str], str] = {}
+    for update in batch:
+        last_op[update.triple] = update.op
+    inserts: set[tuple[int, int, str]] = set()
+    deletes: set[tuple[int, int, str]] = set()
+    num_vertices = graph.num_vertices
+    for triple, op in last_op.items():
+        src, dst, label = triple
+        present = (
+            label in graph
+            and src < num_vertices
+            and dst < num_vertices
+            and graph.relation(label).has_edge(src, dst, num_vertices)
+        )
+        if op == INSERT and not present:
+            inserts.add(triple)
+        elif op == DELETE and present:
+            deletes.add(triple)
+    return inserts, deletes
+
+
+def random_update_batch(
+    graph: LabeledDiGraph,
+    rng: random.Random,
+    num_inserts: int = 4,
+    num_deletes: int = 4,
+    new_label_rate: float = 0.0,
+) -> UpdateBatch:
+    """A randomized batch for tests and benchmarks.
+
+    Deletes sample existing edges uniformly; inserts draw random vertex
+    pairs over existing labels (``new_label_rate`` optionally mints a
+    fresh label per insert with that probability).  The batch is *not*
+    guaranteed to be fully effective — duplicate inserts or repeated
+    deletes exercise the set-semantics normalization on purpose.
+    """
+    triples = list(graph.triples())
+    updates: list[EdgeUpdate] = []
+    for _ in range(min(num_deletes, len(triples))):
+        src, dst, label = rng.choice(triples)
+        updates.append(EdgeUpdate(DELETE, src, dst, label))
+    labels = list(graph.labels)
+    n = graph.num_vertices
+    for index in range(num_inserts):
+        if labels and rng.random() >= new_label_rate:
+            label = rng.choice(labels)
+        else:
+            label = f"NEW{index}"
+        updates.append(
+            EdgeUpdate(INSERT, rng.randrange(n), rng.randrange(n), label)
+        )
+    rng.shuffle(updates)
+    return UpdateBatch(updates)

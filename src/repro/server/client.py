@@ -226,6 +226,16 @@ class EstimationClient:
             payload["allow_fingerprint_change"] = True
         return self.call(payload)
 
+    def apply_deltas(self, tenant: str) -> dict[str, Any]:
+        """Refresh one tenant from its artifact's delta chain."""
+        return self.call(
+            {
+                "v": protocol.PROTOCOL_VERSION,
+                "verb": "apply_deltas",
+                "tenant": tenant,
+            }
+        )
+
     def shutdown(self) -> dict[str, Any]:
         """Ask the server to drain and exit (``shutdown`` verb)."""
         return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "shutdown"})

@@ -14,8 +14,14 @@ Verbs::
     stats     {"v": 1, "verb": "stats"}
     reload    {"v": 1, "verb": "reload", "tenant": "example",
                "path": "stats/example-v2"}
+    apply_deltas  {"v": 1, "verb": "apply_deltas", "tenant": "example"}
     ping      {"v": 1, "verb": "ping"}
     shutdown  {"v": 1, "verb": "shutdown"}
+
+``apply_deltas`` refreshes a tenant from the delta chain appended to its
+artifact directory by ``repro updates apply`` — the live-refresh path of
+the dynamic-graph subsystem (only unseen generations are replayed, onto
+a copy-on-write clone).
 
 Responses are ``{"v": 1, "id": ..., "ok": true, "result": {...}}`` or
 ``{"v": 1, "id": ..., "ok": false, "error": {"code": ..., "message":
@@ -63,7 +69,7 @@ PROTOCOL_VERSION = 1
 #: well-formed estimate request is a few hundred bytes.
 MAX_LINE_BYTES = 1_000_000
 
-VERBS = ("estimate", "stats", "reload", "ping", "shutdown")
+VERBS = ("estimate", "stats", "reload", "apply_deltas", "ping", "shutdown")
 
 
 @dataclass(frozen=True)
@@ -231,6 +237,12 @@ def parse_request(line: str | bytes) -> Request:
             allow_fingerprint_change=bool(
                 payload.get("allow_fingerprint_change", False)
             ),
+        )
+    if verb == "apply_deltas":
+        return Request(
+            verb=verb,
+            id=request_id,
+            tenant=_require_str(payload, "tenant", verb),
         )
     # stats / ping / shutdown carry no operands.
     return Request(verb=verb, id=request_id)

@@ -24,15 +24,21 @@ regenerated" escape hatch).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
 
 from repro.errors import DatasetError
 from repro.service.session import EstimationSession
+from repro.stats.artifact import StoreManifest
 from repro.stats.store import StatisticsStore
 
 __all__ = ["TenantEntry", "StoreRegistry"]
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
 @dataclass(frozen=True)
@@ -43,6 +49,8 @@ class TenantEntry:
     brand-new entry with ``generation + 1``.  The generation therefore
     keys anything version-scoped (e.g. single-flight coalescing keys)
     so work started against an old version never mixes with the new.
+    ``loaded_at`` stamps when this entry was published (load, reload or
+    live delta refresh) — the ``stats`` verb's staleness signal.
     """
 
     name: str
@@ -50,6 +58,7 @@ class TenantEntry:
     store: StatisticsStore
     session: EstimationSession
     generation: int
+    loaded_at: str = field(default_factory=_utc_now)
 
     @property
     def fingerprint(self) -> str:
@@ -64,6 +73,10 @@ class TenantEntry:
             "generation": self.generation,
             "dataset": manifest.dataset_name or None,
             "fingerprint": manifest.dataset_fingerprint,
+            "base_fingerprint": manifest.base_fingerprint,
+            "artifact_generation": manifest.generation,
+            "last_reload_at": self.loaded_at,
+            "last_delta_at": manifest.last_delta_at,
             "h": manifest.h,
             "molp_h": manifest.molp_h,
             "complete": manifest.complete,
@@ -176,16 +189,98 @@ class StoreRegistry:
                 )
             if live.generation >= entry.generation:
                 # A concurrent reload won the race; republish on top of
-                # it rather than rolling the generation backwards.
-                entry = TenantEntry(
-                    name=entry.name,
-                    path=entry.path,
-                    store=entry.store,
-                    session=entry.session,
-                    generation=live.generation + 1,
-                )
+                # it rather than rolling the generation backwards (the
+                # entry was freshly read from disk, so its content is
+                # current either way).
+                entry = replace(entry, generation=live.generation + 1)
             self._publish(name, entry)
         return entry
+
+    def apply_deltas(self, name: str) -> tuple[TenantEntry, int]:
+        """Refresh a tenant from its artifact's on-disk delta chain.
+
+        The live-refresh path of the dynamic-graph subsystem: instead of
+        re-reading the whole artifact, the tenant's current in-memory
+        store is cloned copy-on-write and only the delta generations it
+        has not seen yet are replayed onto the clone, which is then
+        published as a new entry — in-flight requests keep the entry
+        they captured, exactly as with :meth:`reload`.  Fingerprint
+        continuity is enforced by the delta chain itself (each patch
+        names its parent), so no ``allow_fingerprint_change`` escape
+        hatch exists on this path.
+
+        Returns ``(entry, applied)`` where ``applied`` counts the
+        generations replayed (0 means the tenant was already current
+        and no new entry was published).  Falls back to a full
+        :meth:`reload` when the artifact was compacted past the served
+        generation (the base files superseded the patches).
+        """
+        from repro.delta.deltafile import clone_store, replay_delta_chain
+
+        current = self._tenants.get(name)
+        if current is None:
+            raise DatasetError(
+                f"cannot apply deltas to unknown tenant {name!r}; "
+                f"registered tenants: {self.names()}"
+            )
+        manifest = StoreManifest.load(current.path)
+        served = current.store.manifest.generation
+        if manifest.generation <= served:
+            return current, 0
+        if manifest.compacted_generation > served:
+            # The patches the tenant is missing were folded into the
+            # base files; replaying is impossible, so load those.  The
+            # fingerprint moved, but legitimately — require the served
+            # fingerprint to appear in the recorded lineage before
+            # waiving reload's continuity check.
+            lineage = {manifest.base_fingerprint} | {
+                str(entry.get(field, ""))
+                for entry in manifest.deltas
+                for field in ("parent_fingerprint", "fingerprint")
+            }
+            if current.fingerprint not in lineage:
+                raise DatasetError(
+                    f"tenant {name!r} serves fingerprint "
+                    f"{current.fingerprint}, which is not in the compacted "
+                    f"artifact's delta lineage; use reload with "
+                    "allow_fingerprint_change to repoint it"
+                )
+            entry = self.reload(name, allow_fingerprint_change=True)
+            return entry, manifest.generation - served
+        store = clone_store(current.store)
+        applied = replay_delta_chain(
+            store,
+            manifest,
+            current.path,
+            from_generation=served,
+            expected_fingerprint=store.manifest.dataset_fingerprint,
+        )
+        store.manifest = manifest
+        session = store.session(**self._session_kwargs)
+        replacement = TenantEntry(
+            name=name,
+            path=current.path,
+            store=store,
+            session=session,
+            generation=current.generation + 1,
+        )
+        with self._lock:
+            live = self._tenants.get(name)
+            if live is None:
+                raise DatasetError(
+                    f"tenant {name!r} was removed during delta refresh"
+                )
+            if live is not current:
+                # Unlike reload (whose entry is freshly read from disk),
+                # this clone derives from the entry captured *before*
+                # the replay — publishing it over a concurrent
+                # reload/refresh would silently revert the tenant.
+                raise DatasetError(
+                    f"tenant {name!r} changed during the delta refresh "
+                    "(concurrent reload?); retry apply_deltas"
+                )
+            self._publish(name, replacement)
+        return replacement, applied
 
     def _publish(self, name: str, entry: TenantEntry) -> None:
         # Replace the whole dict so readers only ever see a fully

@@ -308,6 +308,8 @@ class EstimationServer:
                 )
             elif request.verb == "reload":
                 response = await self._handle_reload(request)
+            elif request.verb == "apply_deltas":
+                response = await self._handle_apply_deltas(request)
             else:
                 response = await self._handle_estimate(request)
         except ProtocolError as error:
@@ -503,6 +505,43 @@ class EstimationServer:
                 "generation": entry.generation,
                 "path": str(entry.path),
                 "fingerprint": entry.fingerprint,
+            },
+        )
+
+    async def _handle_apply_deltas(self, request: Request) -> dict[str, Any]:
+        """Live tenant refresh from the artifact's on-disk delta chain.
+
+        Like ``reload``, the registry swap is atomic and in-flight
+        requests finish on the entry they captured; unlike ``reload``,
+        only the unseen delta generations are replayed (onto a
+        copy-on-write clone), so refreshing after a small update batch
+        costs proportionally to the batch, not to the artifact.
+        """
+        assert request.tenant is not None
+        if self.registry.get(request.tenant) is None:
+            raise ProtocolError(
+                protocol.UNKNOWN_TENANT,
+                f"unknown tenant {request.tenant!r}; registered tenants: "
+                f"{self.registry.names()}",
+            )
+        loop = asyncio.get_running_loop()
+
+        def work() -> tuple[TenantEntry, int]:
+            return self.registry.apply_deltas(request.tenant)
+
+        try:
+            entry, applied = await loop.run_in_executor(self._executor, work)
+        except DatasetError as error:
+            raise ProtocolError(protocol.RELOAD_FAILED, str(error))
+        return protocol.ok_response(
+            request.id,
+            {
+                "tenant": entry.name,
+                "generation": entry.generation,
+                "artifact_generation": entry.store.manifest.generation,
+                "applied": applied,
+                "fingerprint": entry.fingerprint,
+                "path": str(entry.path),
             },
         )
 

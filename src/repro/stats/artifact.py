@@ -32,6 +32,8 @@ __all__ = [
     "STORE_FORMAT_VERSION",
     "MANIFEST_FILE",
     "CATALOG_FILES",
+    "DELTAS_DIR",
+    "delta_file_name",
     "StoreManifest",
     "dataset_fingerprint",
 ]
@@ -39,6 +41,14 @@ __all__ = [
 STORE_FORMAT_VERSION = 1
 
 MANIFEST_FILE = "manifest.json"
+
+#: Subdirectory holding the versioned delta files of a dynamic artifact.
+DELTAS_DIR = "deltas"
+
+
+def delta_file_name(generation: int) -> str:
+    """Relative path of one delta generation's patch file."""
+    return f"{DELTAS_DIR}/{generation:04d}.json"
 
 CATALOG_FILES = {
     "markov": "markov.json",
@@ -69,7 +79,19 @@ def dataset_fingerprint(graph: LabeledDiGraph) -> str:
 
 @dataclass
 class StoreManifest:
-    """Metadata of one statistics artifact directory."""
+    """Metadata of one statistics artifact directory.
+
+    The delta-lineage fields make an artifact *dynamic*: ``generation``
+    counts applied update generations, ``base_fingerprint`` is the
+    dataset the base catalog files were built from, ``deltas`` lists one
+    entry per applied generation (file name, parent/child fingerprints,
+    update counts, timestamp), and ``compacted_generation`` marks how
+    many of those generations are already folded into the base files —
+    :meth:`repro.stats.store.StatisticsStore.load` replays only the
+    rest.  ``dataset_fingerprint`` always names the *current* (post-
+    delta) dataset, so fingerprint validation works against the mutated
+    graph.
+    """
 
     dataset_fingerprint: str
     h: int
@@ -79,6 +101,15 @@ class StoreManifest:
     build_config: dict = field(default_factory=dict)
     catalogs: list[str] = field(default_factory=list)
     complete: bool = False
+    generation: int = 0
+    base_fingerprint: str = ""
+    compacted_generation: int = 0
+    deltas: list[dict] = field(default_factory=list)
+    last_delta_at: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.base_fingerprint:
+            self.base_fingerprint = self.dataset_fingerprint
 
     def to_payload(self) -> dict:
         """The JSON body written as ``manifest.json``."""
@@ -93,6 +124,11 @@ class StoreManifest:
             "complete": self.complete,
             "build_config": self.build_config,
             "catalogs": sorted(self.catalogs),
+            "generation": self.generation,
+            "base_fingerprint": self.base_fingerprint,
+            "compacted_generation": self.compacted_generation,
+            "deltas": list(self.deltas),
+            "last_delta_at": self.last_delta_at,
         }
 
     @classmethod
@@ -102,6 +138,7 @@ class StoreManifest:
             payload, STORE_FORMAT_VERSION, "statistics store manifest"
         )
         try:
+            last_delta_at = payload.get("last_delta_at")
             return cls(
                 dataset_fingerprint=str(payload["dataset_fingerprint"]),
                 dataset_name=str(payload.get("dataset_name", "")),
@@ -111,6 +148,15 @@ class StoreManifest:
                 complete=bool(payload.get("complete", False)),
                 build_config=dict(payload.get("build_config", {})),
                 catalogs=list(payload.get("catalogs", [])),
+                generation=int(payload.get("generation", 0)),
+                base_fingerprint=str(payload.get("base_fingerprint", "")),
+                compacted_generation=int(
+                    payload.get("compacted_generation", 0)
+                ),
+                deltas=[dict(entry) for entry in payload.get("deltas", [])],
+                last_delta_at=(
+                    str(last_delta_at) if last_delta_at is not None else None
+                ),
             )
         except (KeyError, ValueError, TypeError) as error:
             raise DatasetError(f"invalid statistics manifest: {error}")

@@ -232,7 +232,11 @@ def _enumerate_full(
         counts[key] = count
         if len(pattern) <= config.molp_h:
             if table is not None:
-                degree_relations[key] = StatRelation.from_table(
+                # Stored under canonical variable names so the artifact
+                # bytes are independent of the growth path that produced
+                # the table (the incremental maintainer's recomputed
+                # relations must land on identical serializations).
+                degree_relations[key] = StatRelation.canonical_from_table(
                     pattern, table, graph.num_vertices
                 )
             else:
@@ -331,7 +335,7 @@ def _enumerate_workload(
         # raise MissingStatisticError at serve time.
         counts[key] = count
         if table is not None and len(pattern) <= config.molp_h:
-            degree_relations[key] = StatRelation.from_table(
+            degree_relations[key] = StatRelation.canonical_from_table(
                 pattern, table, graph.num_vertices
             )
     return _Enumeration(

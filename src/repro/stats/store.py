@@ -183,7 +183,7 @@ class StatisticsStore:
                 graph,
                 max_rows=max_rows,
             )
-        return cls(
+        store = cls(
             manifest=manifest,
             markov=markov,
             degrees=degrees,
@@ -193,6 +193,33 @@ class StatisticsStore:
             entropy=entropy,
             graph=graph,
         )
+        _replay_deltas(store, directory)
+        return store
+
+
+def _replay_deltas(store: "StatisticsStore", directory: Path) -> None:
+    """Replay a dynamic artifact's delta chain onto a just-loaded store.
+
+    Generations already folded into the base files (``≤
+    compacted_generation``) are skipped; the rest are fingerprint-chain
+    checked and applied in order, so the returned store always reflects
+    the manifest's current ``dataset_fingerprint`` — graph-free.
+    """
+    manifest = store.manifest
+    if not manifest.deltas:
+        return
+    # Lazy import: repro.delta builds on this module.
+    from repro.delta.deltafile import replay_delta_chain
+
+    try:
+        replay_delta_chain(
+            store,
+            manifest,
+            directory,
+            from_generation=manifest.compacted_generation,
+        )
+    except DatasetError as error:
+        raise DatasetError(f"statistics artifact {directory}: {error}")
 
 
 def _write_json(path: Path, payload: dict) -> None:
@@ -269,9 +296,34 @@ def inspect_artifact(directory: str | Path) -> dict:
                 {"entries": entry["entries"]} if "entries" in entry else {}
             ),
         }
+    for entry in manifest.deltas:
+        for name in (entry.get("file"), _delta_sibling(directory, entry)):
+            if not name:
+                continue
+            path = directory / name
+            if not path.exists():
+                files[name] = {"missing": True}
+                continue
+            size = path.stat().st_size
+            total += size
+            files[name] = {
+                "bytes": size,
+                "generation": entry.get("generation"),
+                "folded": int(entry.get("generation", 0))
+                <= manifest.compacted_generation,
+            }
     report["files"] = files
     report["catalogs_sizes"] = catalogs
     report["total_bytes"] = total
     report["total_human"] = human_bytes(total)
     report["sub_mb"] = total < 1_000_000
     return report
+
+
+def _delta_sibling(directory: Path, entry: dict) -> str | None:
+    """The rebuilt-SumRDF sibling of a delta file, if it exists."""
+    file = entry.get("file")
+    if not file or not str(file).endswith(".json"):
+        return None
+    sibling = str(file)[: -len(".json")] + ".sumrdf.npz"
+    return sibling if (directory / sibling).exists() else None

@@ -1,0 +1,160 @@
+"""MutableGraphOverlay: set semantics, layered reads, materialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delta import (
+    DELETE,
+    INSERT,
+    EdgeUpdate,
+    MutableGraphOverlay,
+    UpdateBatch,
+    normalize_updates,
+)
+from repro.errors import DatasetError
+from repro.stats.artifact import dataset_fingerprint
+
+
+class TestSetSemantics:
+    def test_insert_existing_edge_is_noop(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        assert not overlay.insert(0, 2, "A")
+        assert overlay.pending == 0
+
+    def test_delete_absent_edge_is_noop(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        assert not overlay.delete(7, 7, "A")
+        assert not overlay.delete(0, 0, "ZZZ")
+        assert overlay.pending == 0
+
+    def test_insert_then_delete_cancels(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        assert overlay.insert(7, 0, "A")
+        assert overlay.delete(7, 0, "A")
+        assert overlay.pending == 0
+        assert not overlay.has_edge(7, 0, "A")
+
+    def test_delete_then_insert_restores_base_edge(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        assert overlay.delete(0, 2, "A")
+        assert not overlay.has_edge(0, 2, "A")
+        assert overlay.insert(0, 2, "A")
+        assert overlay.pending == 0
+        assert overlay.has_edge(0, 2, "A")
+
+    def test_double_insert_once_effective(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        assert overlay.insert(7, 0, "A")
+        assert not overlay.insert(7, 0, "A")
+        assert overlay.pending == 1
+
+    def test_invariants_hold(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        overlay.insert(7, 0, "A")
+        overlay.delete(0, 2, "A")
+        assert overlay.pending_inserts == {(7, 0, "A")}
+        assert overlay.pending_deletes == {(0, 2, "A")}
+
+
+class TestLayeredReads:
+    def test_counts_track_edits(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        base_edges = tiny_graph.num_edges
+        overlay.insert(7, 0, "A")
+        overlay.delete(4, 6, "C")
+        assert overlay.num_edges == base_edges
+        assert overlay.cardinality("A") == tiny_graph.cardinality("A") + 1
+        assert overlay.cardinality("C") == tiny_graph.cardinality("C") - 1
+        assert overlay.touched_labels() == {"A", "C"}
+
+    def test_vertex_universe_grows_with_inserts(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        overlay.insert(0, 20, "A")
+        assert overlay.num_vertices == 21
+
+    def test_degree_deltas(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        overlay.insert(7, 0, "A")
+        overlay.delete(0, 2, "A")
+        out_delta, in_delta = overlay.degree_deltas()["A"]
+        assert out_delta[7] == 1 and out_delta[0] == -1
+        assert in_delta[0] == 1 and in_delta[2] == -1
+
+
+class TestMaterialize:
+    def test_matches_from_scratch_construction(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        overlay.insert(7, 0, "A")
+        overlay.delete(0, 2, "A")
+        overlay.insert(1, 5, "D")  # brand-new label
+        materialized = overlay.materialize()
+        triples = set(tiny_graph.triples())
+        triples.add((7, 0, "A"))
+        triples.discard((0, 2, "A"))
+        triples.add((1, 5, "D"))
+        from repro.graph.digraph import LabeledDiGraph
+
+        expected = LabeledDiGraph.from_triples(
+            triples, num_vertices=tiny_graph.num_vertices
+        )
+        assert dataset_fingerprint(materialized) == dataset_fingerprint(
+            expected
+        )
+        assert overlay.fingerprint() == dataset_fingerprint(expected)
+
+    def test_label_vanishes_when_emptied(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        for src, dst, label in tiny_graph.triples():
+            if label == "B":
+                overlay.delete(src, dst, label)
+        materialized = overlay.materialize()
+        assert "B" not in materialized.labels
+        assert materialized.num_edges == tiny_graph.num_edges - 3
+
+    def test_base_untouched(self, tiny_graph):
+        overlay = MutableGraphOverlay(tiny_graph)
+        before = dataset_fingerprint(tiny_graph)
+        overlay.delete(0, 2, "A")
+        overlay.insert(5, 5, "C")
+        overlay.materialize()
+        assert dataset_fingerprint(tiny_graph) == before
+
+
+class TestUpdateBatch:
+    def test_rows_round_trip(self, tmp_path):
+        batch = UpdateBatch(
+            [["+", 0, 1, "A"], ["delete", 2, 3, "B"], ("insert", 4, 5, "C")]
+        )
+        assert [u.op for u in batch] == [INSERT, DELETE, INSERT]
+        path = tmp_path / "ops.json"
+        batch.save(path)
+        again = UpdateBatch.load(path)
+        assert again.to_rows() == batch.to_rows()
+
+    def test_bad_rows_raise_friendly_errors(self):
+        with pytest.raises(DatasetError):
+            UpdateBatch([["?", 0, 1, "A"]])
+        with pytest.raises(DatasetError):
+            UpdateBatch([["+", 0, 1]])
+        with pytest.raises(DatasetError):
+            EdgeUpdate(INSERT, -1, 0, "A")
+
+    def test_normalize_last_op_wins(self, tiny_graph):
+        batch = UpdateBatch(
+            [
+                ["+", 7, 0, "A"],
+                ["-", 7, 0, "A"],   # cancels the insert
+                ["+", 0, 2, "A"],   # already present: no-op
+                ["-", 2, 4, "B"],   # real delete
+                ["-", 6, 6, "C"],   # absent: no-op
+            ]
+        )
+        inserts, deletes = normalize_updates(tiny_graph, batch)
+        assert inserts == set()
+        assert deletes == {(2, 4, "B")}
+
+    def test_inverted_mirrors_ops(self):
+        batch = UpdateBatch([["+", 0, 1, "A"], ["-", 2, 3, "B"]])
+        rows = batch.inverted().to_rows()
+        assert rows == [["+", 2, 3, "B"], ["-", 0, 1, "A"]]
