@@ -23,29 +23,43 @@ covered by the engine/service benches):
 
 Runs standalone: ``python benchmarks/bench_server_load.py [--quick]
 [--json PATH]``.
+
+**Fleet mode** (``--workers N``) re-runs the acceptance surface against
+a real ``repro serve --workers N`` subprocess fleet: the bit-identity
+sweep is asserted against *every worker's* direct port, the open-loop
+phase routes tenant-affine traffic through :class:`FleetClient` at 4×
+the committed single-process target (`BENCH_server.json`), and a
+``/proc/<pid>/smaps_rollup`` probe verifies the copy-on-write artifact
+sharing: per-worker unique RSS for N workers must stay ≤ 1.5× a single
+worker's.  Results land in ``BENCH_fleet.json``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import queue
 import random
+import subprocess
 import sys
 import tempfile
 import threading
 import time
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
 
 from repro.datasets.presets import running_example_graph  # noqa: E402
 from repro.query.parser import parse_pattern  # noqa: E402
 from repro.server import (  # noqa: E402
     EstimationClient,
+    FleetClient,
     ServerConfig,
     StoreRegistry,
     ThreadedServer,
+    wait_until_ready,
 )
 from repro.stats import (  # noqa: E402
     StatisticsStore,
@@ -237,8 +251,16 @@ def open_loop_load(
     rate: float,
     workers: int,
     seed: int,
+    tenants: tuple[str, ...] = ("example",),
+    make_client=None,
 ) -> dict:
-    """Phase 3: fixed arrival schedule, Zipf shape mix, verified responses."""
+    """Phase 3: fixed arrival schedule, Zipf shape mix, verified responses.
+
+    ``tenants`` round-robins arrivals across tenant names (the fleet
+    mode's scale-out axis — affinity routing spreads them over
+    workers); ``make_client`` swaps the per-thread client factory
+    (:class:`FleetClient` in fleet mode).
+    """
     rng = random.Random(seed)
     ranks = zipf_ranks(rng, requests, len(SHAPE_TEMPLATES))
     schedule = [
@@ -253,6 +275,9 @@ def open_loop_load(
     work: queue.Queue = queue.Queue()
     for item in schedule:
         work.put(item)
+    if make_client is None:
+        def make_client():
+            return EstimationClient(host, port)
     latencies: list[float] = []
     mismatches: list[str] = []
     errors: list[str] = []
@@ -261,7 +286,7 @@ def open_loop_load(
     epoch: list[float] = []
 
     def worker():
-        with EstimationClient(host, port) as client:
+        with make_client() as client:
             start_gate.wait(10)
             while True:
                 try:
@@ -274,7 +299,7 @@ def open_loop_load(
                     time.sleep(wake - now)
                 try:
                     result = client.estimate(
-                        "example",
+                        tenants[salt % len(tenants)],
                         shape_text(template, salt),
                         [estimator],
                     )
@@ -366,6 +391,257 @@ def run(quick: bool = False) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Fleet mode (--workers N): subprocess fleet, COW memory, 4x target
+# ----------------------------------------------------------------------
+
+#: Tenants registered in fleet mode (all serving the same artifact, so
+#: one in-process reference covers them all).  Multiple names matter:
+#: the consistent-hash router spreads *tenants*, not connections, so a
+#: single tenant would pin the whole load on one worker.
+FLEET_TENANTS = ("example", "tenant-b", "tenant-c", "tenant-d")
+
+
+class FleetUnderTest:
+    """A ``repro serve --workers N`` subprocess and its ready map."""
+
+    def __init__(
+        self,
+        artifact: Path,
+        workers: int,
+        queue_limit: int = 128,
+    ):
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--workers", str(workers),
+            "--queue-limit", str(queue_limit),
+        ]
+        for tenant in FLEET_TENANTS:
+            command += ["--tenant", f"{tenant}={artifact}"]
+        self.proc = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+            text=True,
+        )
+        ready_line = self.proc.stdout.readline()
+        if not ready_line:
+            raise RuntimeError(
+                f"fleet failed to start: {self.proc.stderr.read()}"
+            )
+        self.ready = json.loads(ready_line)
+        self.host = self.ready["host"]
+        self.port = self.ready["port"]
+        wait_until_ready(self.host, self.port, timeout=30.0)
+
+    def shutdown(self) -> tuple[int, str]:
+        """Drain the fleet via the shutdown verb; returns (rc, stderr)."""
+        with FleetClient(self.host, self.port) as client:
+            client.shutdown()
+        self.proc.wait(timeout=60)
+        stderr = self.proc.stderr.read()
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        return self.proc.returncode, stderr
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def memory_of(pid: int) -> dict[str, float]:
+    """RSS/PSS/USS of one process in kB (Linux ``smaps_rollup``)."""
+    fields = {}
+    for line in Path(f"/proc/{pid}/smaps_rollup").read_text().splitlines():
+        parts = line.split()
+        if len(parts) >= 2 and parts[0].rstrip(":") in (
+            "Rss", "Pss", "Private_Clean", "Private_Dirty"
+        ):
+            fields[parts[0].rstrip(":")] = float(parts[1])
+    return {
+        "rss_kb": fields.get("Rss", 0.0),
+        "pss_kb": fields.get("Pss", 0.0),
+        "uss_kb": fields.get("Private_Clean", 0.0)
+        + fields.get("Private_Dirty", 0.0),
+    }
+
+
+def fleet_identity_sweep(fleet: FleetUnderTest, expected: dict) -> int:
+    """The bit-identity sweep, against **every worker's** direct port."""
+    checked = 0
+    for worker in fleet.ready["workers"]:
+        checked += identity_sweep(
+            fleet.host, worker["direct_port"], expected
+        )
+    return checked
+
+
+def fleet_memory_probe(artifact: Path, workers: int) -> dict:
+    """Measure per-worker memory with every worker warmed.
+
+    Loaded-once-shared-copy-on-write is the claim: the supervisor loads
+    the registry pre-fork, so N workers' artifact pages are one
+    physical copy.  USS (private pages only) is the honest per-worker
+    marginal cost; PSS totals show the fleet-wide footprint with shared
+    pages divided fairly.
+    """
+    fleet = FleetUnderTest(artifact, workers)
+    try:
+        for worker in fleet.ready["workers"]:
+            with EstimationClient(
+                fleet.host, worker["direct_port"]
+            ) as client:
+                for tenant in FLEET_TENANTS:
+                    for template in SHAPE_TEMPLATES[:4]:
+                        client.estimate(
+                            tenant, shape_text(template, 3), ["max-hop-max"]
+                        )
+        per_worker = {
+            str(worker["index"]): memory_of(worker["pid"])
+            for worker in fleet.ready["workers"]
+        }
+        supervisor = memory_of(fleet.proc.pid)
+    finally:
+        returncode, stderr = fleet.shutdown()
+    assert returncode == 0 and stderr == "", (
+        f"memory-probe fleet did not drain cleanly: rc={returncode}, "
+        f"stderr={stderr!r}"
+    )
+    worker_uss = [m["uss_kb"] for m in per_worker.values()]
+    return {
+        "workers": workers,
+        "per_worker": per_worker,
+        "supervisor": supervisor,
+        "worker_uss_max_kb": max(worker_uss),
+        "worker_uss_mean_kb": sum(worker_uss) / len(worker_uss),
+        "total_pss_kb": supervisor["pss_kb"]
+        + sum(m["pss_kb"] for m in per_worker.values()),
+    }
+
+
+def run_fleet(workers: int = 4, quick: bool = False) -> dict:
+    """Fleet acceptance run: identity x workers, 4x load, COW memory."""
+    base_rate = 400.0 if quick else 800.0  # the single-process target
+    scale = 4  # the acceptance multiple over BENCH_server.json
+    scaled_rate = base_rate * scale
+    baseline_requests = int(base_rate * 1)
+    scaled_requests = int(scaled_rate * (2 if quick else 5))
+    load_threads = 8 if quick else 16
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        v1, _v2 = build_artifacts(Path(tmp))
+        expected = expected_estimates(v1)
+        # Memory first, on quiet fleets: request backlogs would blur
+        # the per-worker footprint.
+        memory_single = fleet_memory_probe(v1, 1)
+        memory_fleet = fleet_memory_probe(v1, workers)
+        fleet = FleetUnderTest(
+            v1, workers, queue_limit=max(scaled_requests, 128)
+        )
+        try:
+            cells = fleet_identity_sweep(fleet, expected)
+            make_client = lambda: FleetClient(fleet.host, fleet.port)  # noqa: E731
+            # Old single-process target load: must be comfortable (0 shed).
+            baseline = open_loop_load(
+                fleet.host, fleet.port, expected,
+                baseline_requests, base_rate, load_threads, seed=7,
+                tenants=FLEET_TENANTS, make_client=make_client,
+            )
+            with FleetClient(fleet.host, fleet.port) as client:
+                baseline_aggregate = client.stats()["aggregate"]
+            # The acceptance load: 4x the committed target.
+            scaled = open_loop_load(
+                fleet.host, fleet.port, expected,
+                scaled_requests, scaled_rate, load_threads, seed=11,
+                tenants=FLEET_TENANTS, make_client=make_client,
+            )
+            with FleetClient(fleet.host, fleet.port) as client:
+                stats = client.stats()
+        except BaseException:
+            fleet.kill()
+            raise
+        returncode, stderr = fleet.shutdown()
+    assert returncode == 0 and stderr == "", (
+        f"fleet did not drain cleanly: rc={returncode}, stderr={stderr!r}"
+    )
+    aggregate = stats["aggregate"]
+    uss_ratio = (
+        memory_fleet["worker_uss_max_kb"] / memory_single["worker_uss_max_kb"]
+    )
+    ok = (
+        aggregate["workers_reporting"] == workers
+        and baseline_aggregate["shed_total"] == 0
+        and scaled["throughput_rps"] >= scaled_rate * 0.95
+        and scaled["latency_ms"]["p99"] <= 10.0
+        and uss_ratio <= 1.5
+    )
+    return {
+        "benchmark": "server_fleet_load",
+        "mode": "quick" if quick else "full",
+        "workers": workers,
+        "tenants": list(FLEET_TENANTS),
+        "identity_cells_verified": cells,
+        "all_bit_identical": True,  # asserted per worker, every run
+        "single_process_target_rps": base_rate,
+        "scale_over_committed_target": scale,
+        "baseline_load": baseline,
+        "baseline_shed_total": baseline_aggregate["shed_total"],
+        "scaled_load": scaled,
+        "aggregate": {
+            "workers_reporting": aggregate["workers_reporting"],
+            "requests_total": aggregate["requests_total"],
+            "shed_total": aggregate["shed_total"],
+            "deadline_exceeded_total": aggregate["deadline_exceeded_total"],
+        },
+        "memory": {
+            "single_worker": memory_single,
+            "fleet": memory_fleet,
+            "worker_uss_ratio": uss_ratio,
+            "uss_ratio_bar": 1.5,
+        },
+        "ok": ok,
+    }
+
+
+def render_fleet(report: dict) -> str:
+    scaled = report["scaled_load"]
+    latency = scaled["latency_ms"]
+    memory = report["memory"]
+    return "\n".join(
+        [
+            f"Fleet load ({report['workers']} workers, "
+            f"mode={report['mode']})",
+            f"  identity sweep       : {report['identity_cells_verified']} "
+            "(shape, estimator) cells bit-identical on every worker",
+            f"  baseline load        : "
+            f"{report['baseline_load']['target_rate_rps']:.0f}/s (the "
+            f"committed single-process target), "
+            f"{report['baseline_shed_total']} shed",
+            f"  scaled load          : {scaled['requests']} requests @ "
+            f"{scaled['target_rate_rps']:.0f}/s target "
+            f"({report['scale_over_committed_target']}x), "
+            f"{scaled['throughput_rps']:.1f}/s achieved",
+            f"  latency (open loop)  : p50 {latency['p50']:.2f} ms, "
+            f"p90 {latency['p90']:.2f} ms, p99 {latency['p99']:.2f} ms",
+            f"  shed / deadline      : "
+            f"{report['aggregate']['shed_total']} / "
+            f"{report['aggregate']['deadline_exceeded_total']}",
+            f"  worker USS           : "
+            f"{memory['fleet']['worker_uss_max_kb'] / 1024:.1f} MiB max "
+            f"(N={report['workers']}) vs "
+            f"{memory['single_worker']['worker_uss_max_kb'] / 1024:.1f} MiB "
+            f"(N=1) -> ratio {memory['worker_uss_ratio']:.2f} "
+            f"(bar {memory['uss_ratio_bar']})",
+            f"  fleet PSS total      : "
+            f"{memory['fleet']['total_pss_kb'] / 1024:.1f} MiB "
+            f"(supervisor + {report['workers']} workers, shared pages "
+            "counted once)",
+        ]
+    )
+
+
 def render(report: dict) -> str:
     load = report["load"]
     latency = load["latency_ms"]
@@ -396,9 +672,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke mode")
     parser.add_argument("--json", type=Path, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fleet mode: benchmark a subprocess `repro serve --workers N` "
+             "fleet instead of the in-process single server (default 0)",
+    )
     args = parser.parse_args(argv)
-    report = run(quick=args.quick)
-    print(render(report))
+    if args.workers:
+        report = run_fleet(workers=args.workers, quick=args.quick)
+        print(render_fleet(report))
+    else:
+        report = run(quick=args.quick)
+        print(render(report))
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(report, indent=2), encoding="utf-8")

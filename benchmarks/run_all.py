@@ -22,6 +22,7 @@ import json
 import platform
 import sys
 from pathlib import Path
+from types import SimpleNamespace
 
 HERE = Path(__file__).resolve().parent
 sys.path.insert(0, str(HERE.parent / "src"))
@@ -32,10 +33,20 @@ import bench_engine_vectorized  # noqa: E402
 import bench_server_load  # noqa: E402
 import bench_service_cold  # noqa: E402
 
+# The fleet acceptance run shares bench_server_load's machinery but is
+# its own benchmark artifact: 2 workers in --quick (CI), 4 in full.
+_fleet_bench = SimpleNamespace(
+    run=lambda quick=False: bench_server_load.run_fleet(
+        workers=2 if quick else 4, quick=quick
+    ),
+    render=bench_server_load.render_fleet,
+)
+
 BENCHES = (
     ("BENCH_engine.json", bench_engine_vectorized),
     ("BENCH_service.json", bench_service_cold),
     ("BENCH_server.json", bench_server_load),
+    ("BENCH_fleet.json", _fleet_bench),
     ("BENCH_delta.json", bench_delta_maintenance),
 )
 

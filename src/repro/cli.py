@@ -698,6 +698,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deadline-ms", type=float, default=30_000.0,
                         help="default per-request deadline, queue time "
                              "included (default 30000)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run a supervised fleet of N worker processes "
+                             "sharing the port (SO_REUSEPORT), artifacts "
+                             "loaded once pre-fork; 0 (default) serves "
+                             "single-process in this process")
     return parser
 
 
@@ -740,6 +745,30 @@ def run_serve(argv: list[str]) -> int:
     except ValueError as error:
         print(f"repro serve: {error}", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("repro serve: --workers must be >= 0", file=sys.stderr)
+        return 2
+    if args.workers:
+        # Fleet mode: the registry above was loaded pre-fork on purpose —
+        # workers inherit the artifact pages copy-on-write.
+        from repro.server import FleetSupervisor
+
+        supervisor = FleetSupervisor(registry, config, workers=args.workers)
+        try:
+            supervisor.start()
+        except (ReproError, OSError, RuntimeError) as error:
+            print(f"repro serve: {error}", file=sys.stderr)
+            return 1
+        return supervisor.run()
+
+    # Single-process serving: the loaded artifacts are immortal, so
+    # freezing them keeps gen-2 collections from traversing the whole
+    # statistics heap mid-request (the fleet supervisor does the same
+    # pre-fork; see repro.server.fleet).
+    import gc
+
+    gc.collect()
+    gc.freeze()
 
     async def serve() -> int:
         server = EstimationServer(registry, config)

@@ -11,11 +11,18 @@ shape, estimator) single-flight coalescing in front of the session LRUs.
 
 from repro.server.client import (
     EstimationClient,
+    FleetClient,
     ServerError,
     ServerUnavailable,
     wait_until_ready,
 )
 from repro.server.coalescer import CoalescerStats, SingleFlight
+from repro.server.fleet import (
+    FleetContext,
+    FleetMember,
+    FleetSupervisor,
+    assign_tenants,
+)
 from repro.server.protocol import (
     ERROR_CODES,
     MAX_LINE_BYTES,
@@ -44,7 +51,12 @@ __all__ = [
     "EstimationServer",
     "ThreadedServer",
     "EstimationClient",
+    "FleetClient",
     "ServerError",
     "ServerUnavailable",
     "wait_until_ready",
+    "FleetMember",
+    "FleetContext",
+    "FleetSupervisor",
+    "assign_tenants",
 ]

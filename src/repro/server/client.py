@@ -13,11 +13,27 @@ transient serving condition such as ``overloaded`` or
 ``deadline_exceeded``).  Transport-level failures (connection refused,
 reset, EOF mid-response) raise :class:`ServerUnavailable`, which maps to
 exit code 3 as well.
+
+**Fork-safety contract.**  A connected client that crosses a ``fork()``
+would otherwise share its socket fd between parent and child: two
+processes interleaving writes on one stream desync the NDJSON framing
+for both.  The client records the owning pid at connect time and, when
+it finds itself in a different process, transparently drops the
+inherited fd (closing only this process's dup — the parent's connection
+is untouched) and reconnects, so forking load generators and
+``fork``-spawned fleet workers can reuse a pre-fork client safely.
+
+:class:`FleetClient` layers tenant-affinity routing on top: it resolves
+the fleet map of a multi-process server (the ``fleet`` verb) and sends
+each tenant's estimates to the worker that owns it under the fleet's
+consistent-hash assignment, so one tenant's shape caches stay hot on
+one worker instead of being rebuilt N times.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 import time
@@ -30,6 +46,7 @@ __all__ = [
     "ServerError",
     "ServerUnavailable",
     "EstimationClient",
+    "FleetClient",
     "wait_until_ready",
 ]
 
@@ -67,6 +84,9 @@ class EstimationClient:
         self._lock = threading.RLock()
         self._sock: socket.socket | None = None
         self._file = None
+        # Pid that opened the current socket; a mismatch means we are a
+        # fork()ed child holding the parent's fd (see module docstring).
+        self._owner_pid: int | None = None
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -84,6 +104,7 @@ class EstimationClient:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
         self._file = sock.makefile("rb")
+        self._owner_pid = os.getpid()
 
     def close(self) -> None:
         """Close the connection (idempotent, waits out in-flight requests)."""
@@ -121,6 +142,13 @@ class EstimationClient:
         # socket half-torn-down (or have its fresh reconnect closed from
         # under it).
         with self._lock:
+            if self._sock is not None and self._owner_pid != os.getpid():
+                # We are a fork()ed child reusing the parent's client:
+                # writing on the inherited fd would interleave with the
+                # parent's requests and desync framing for both sides.
+                # close() only drops this process's dup of the fd, so
+                # the parent's connection survives; reconnect fresh.
+                self.close()
             if self._sock is None:
                 self._connect()
             assert self._sock is not None and self._file is not None
@@ -208,6 +236,15 @@ class EstimationClient:
         """Liveness check; returns the registered tenant names."""
         return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "ping"})
 
+    def fleet(self) -> dict[str, Any]:
+        """The fleet topology behind this port (``fleet`` verb).
+
+        A single-process server answers ``{"fleet": false}``; a fleet
+        worker describes itself, its peers' direct ports, and the
+        consistent-hash tenant assignment.
+        """
+        return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "fleet"})
+
     def reload(
         self,
         tenant: str,
@@ -241,20 +278,158 @@ class EstimationClient:
         return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "shutdown"})
 
 
+class FleetClient:
+    """Tenant-affinity routing client for a multi-process fleet.
+
+    Wraps one "seed" :class:`EstimationClient` on the fleet's shared
+    port plus one lazily-opened direct connection per worker.  Estimates
+    for a tenant go to the worker that owns it under the fleet's
+    consistent-hash assignment, so each tenant's canonical-shape caches
+    warm exactly once; control verbs (``stats``/``reload``/``shutdown``)
+    ride the shared port, where any worker fans them out fleet-wide.
+
+    Falls back gracefully: against a single-process server (``fleet``
+    answers ``{"fleet": false}``) or when an owner is briefly
+    unreachable (crashed worker awaiting restart), requests go to the
+    shared port instead — correctness never depends on routing, because
+    every worker serves every tenant.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout: float | None = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._seed = EstimationClient(host, port, timeout=timeout)
+        self._workers: dict[int, EstimationClient] = {}
+        self._assignment: dict[str, int] = {}
+        self._direct_ports: dict[int, int] = {}
+        self._resolved = False
+
+    def _resolve(self) -> None:
+        """Fetch the fleet map once (any worker answers identically)."""
+        with self._lock:
+            if self._resolved:
+                return
+            info = self._seed.fleet()
+            if info.get("fleet"):
+                self._assignment = {
+                    tenant: int(index)
+                    for tenant, index in (info.get("assignment") or {}).items()
+                }
+                self._direct_ports = {
+                    int(worker["index"]): int(worker["direct_port"])
+                    for worker in info.get("workers", [])
+                    if worker.get("direct_port")
+                }
+            self._resolved = True
+
+    def _client_for(self, tenant: str) -> EstimationClient:
+        self._resolve()
+        index = self._assignment.get(tenant)
+        with self._lock:
+            port = self._direct_ports.get(index) if index is not None else None
+            if port is None:
+                return self._seed
+            client = self._workers.get(index)
+            if client is None:
+                client = EstimationClient(self.host, port, timeout=self.timeout)
+                self._workers[index] = client
+            return client
+
+    def estimate(
+        self,
+        tenant: str,
+        query: str,
+        estimators: Iterable[str] = ("max-hop-max",),
+        deadline_ms: float | None = None,
+        request_id: Any = None,
+    ) -> dict[str, Any]:
+        """Estimate on the tenant's home worker (hot shape caches).
+
+        When the home worker is unreachable — typically a crash window
+        before the supervisor restarts it — the request retries once on
+        the shared port, which the surviving workers keep serving.
+        """
+        client = self._client_for(tenant)
+        try:
+            return client.estimate(
+                tenant, query, estimators, deadline_ms, request_id
+            )
+        except ServerUnavailable:
+            if client is self._seed:
+                raise
+            return self._seed.estimate(
+                tenant, query, estimators, deadline_ms, request_id
+            )
+
+    def stats(self) -> dict[str, Any]:
+        """Fleet-wide aggregated stats (fanned out by the entry worker)."""
+        return self._seed.stats()
+
+    def fleet(self) -> dict[str, Any]:
+        """The fleet topology snapshot."""
+        return self._seed.fleet()
+
+    def reload(self, tenant: str, **kwargs: Any) -> dict[str, Any]:
+        """Fleet-wide hot reload via the shared port."""
+        return self._seed.reload(tenant, **kwargs)
+
+    def apply_deltas(self, tenant: str) -> dict[str, Any]:
+        """Fleet-wide delta refresh via the shared port."""
+        return self._seed.apply_deltas(tenant)
+
+    def shutdown(self) -> dict[str, Any]:
+        """Drain and stop the whole fleet."""
+        return self._seed.shutdown()
+
+    def close(self) -> None:
+        """Close the seed and every per-worker connection (idempotent)."""
+        with self._lock:
+            clients = [self._seed, *self._workers.values()]
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def wait_until_ready(
     host: str, port: int, timeout: float = 30.0, interval: float = 0.05
 ) -> None:
-    """Block until a server answers ``ping`` (for subprocess startup)."""
+    """Block until a server answers ``ping`` (for subprocess startup).
+
+    Each probe's socket timeout is clamped to the time remaining before
+    the stated deadline: against a SYN-dropping or slow-accepting host a
+    single ``connect()`` blocks until *its* timeout fires, so a fixed
+    5 s per-attempt budget could overshoot a ``timeout=2.0`` call by
+    seconds.  The clamp keeps the overall wait honest.
+    """
     deadline = time.monotonic() + timeout
     last_error: Exception | None = None
-    while time.monotonic() < deadline:
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
         try:
-            with EstimationClient(host, port, timeout=5.0) as client:
+            with EstimationClient(
+                host, port, timeout=min(5.0, remaining)
+            ) as client:
                 client.ping()
             return
         except (ReproError, OSError, json.JSONDecodeError) as error:
             last_error = error
-            time.sleep(interval)
+            time.sleep(
+                max(0.0, min(interval, deadline - time.monotonic()))
+            )
     raise ServerUnavailable(
         f"estimation server at {host}:{port} did not become ready within "
         f"{timeout:g}s: {last_error}"

@@ -16,12 +16,22 @@ Verbs::
                "path": "stats/example-v2"}
     apply_deltas  {"v": 1, "verb": "apply_deltas", "tenant": "example"}
     ping      {"v": 1, "verb": "ping"}
+    fleet     {"v": 1, "verb": "fleet"}
     shutdown  {"v": 1, "verb": "shutdown"}
 
 ``apply_deltas`` refreshes a tenant from the delta chain appended to its
 artifact directory by ``repro updates apply`` — the live-refresh path of
 the dynamic-graph subsystem (only unseen generations are replayed, onto
 a copy-on-write clone).
+
+``fleet`` describes the multi-process worker fleet serving the port
+(worker identity, per-worker direct ports, the consistent-hash tenant
+assignment); a single-process server answers ``{"fleet": false}``.  In
+fleet mode the control verbs ``reload``/``apply_deltas``/``shutdown``
+and ``stats`` fan out to every worker; the optional ``"scope":
+"local"`` request field suppresses that fan-out and addresses only the
+worker that accepted the connection (the fleet uses it internally so a
+fan-out can never recurse).
 
 Responses are ``{"v": 1, "id": ..., "ok": true, "result": {...}}`` or
 ``{"v": 1, "id": ..., "ok": false, "error": {"code": ..., "message":
@@ -69,7 +79,19 @@ PROTOCOL_VERSION = 1
 #: well-formed estimate request is a few hundred bytes.
 MAX_LINE_BYTES = 1_000_000
 
-VERBS = ("estimate", "stats", "reload", "apply_deltas", "ping", "shutdown")
+VERBS = (
+    "estimate",
+    "stats",
+    "reload",
+    "apply_deltas",
+    "ping",
+    "fleet",
+    "shutdown",
+)
+
+#: Request scopes: None (default — fleet-wide fan-out of control verbs)
+#: or "local" (answer from the worker holding the connection only).
+SCOPES = (None, "local")
 
 
 @dataclass(frozen=True)
@@ -110,6 +132,9 @@ INTERNAL_ERROR = ErrorCode("internal_error", 1)
 OVERLOADED = ErrorCode("overloaded", 3)
 DEADLINE_EXCEEDED = ErrorCode("deadline_exceeded", 3)
 SHUTTING_DOWN = ErrorCode("shutting_down", 3)
+#: A fleet fan-out could not reach one worker (crashed and awaiting
+#: restart); the per-worker slot of the fanned response carries this.
+WORKER_UNREACHABLE = ErrorCode("worker_unreachable", 3)
 
 ERROR_CODES: dict[str, ErrorCode] = {
     error.code: error
@@ -127,6 +152,7 @@ ERROR_CODES: dict[str, ErrorCode] = {
         OVERLOADED,
         DEADLINE_EXCEEDED,
         SHUTTING_DOWN,
+        WORKER_UNREACHABLE,
     ]
 }
 
@@ -152,6 +178,12 @@ class Request:
     deadline_ms: float | None = None
     path: str | None = None
     allow_fingerprint_change: bool = False
+    scope: str | None = None
+
+    @property
+    def local(self) -> bool:
+        """Whether the request is pinned to the accepting worker."""
+        return self.scope == "local"
 
 
 def _require_str(payload: dict, key: str, verb: str) -> str:
@@ -197,6 +229,12 @@ def parse_request(line: str | bytes) -> Request:
             f"unknown verb {verb!r}; expected one of {VERBS}",
         )
     request_id = payload.get("id")
+    scope = payload.get("scope")
+    if scope not in SCOPES:
+        raise ProtocolError(
+            INVALID_REQUEST,
+            f"unknown scope {scope!r}; expected 'local' or no scope field",
+        )
     if verb == "estimate":
         estimators_raw = payload.get("estimators", ["max-hop-max"])
         if (
@@ -222,6 +260,7 @@ def parse_request(line: str | bytes) -> Request:
             query=_require_str(payload, "query", verb),
             estimators=tuple(estimators_raw),
             deadline_ms=deadline_ms,
+            scope=scope,
         )
     if verb == "reload":
         path = payload.get("path")
@@ -237,15 +276,17 @@ def parse_request(line: str | bytes) -> Request:
             allow_fingerprint_change=bool(
                 payload.get("allow_fingerprint_change", False)
             ),
+            scope=scope,
         )
     if verb == "apply_deltas":
         return Request(
             verb=verb,
             id=request_id,
             tenant=_require_str(payload, "tenant", verb),
+            scope=scope,
         )
-    # stats / ping / shutdown carry no operands.
-    return Request(verb=verb, id=request_id)
+    # stats / ping / fleet / shutdown carry no operands beyond scope.
+    return Request(verb=verb, id=request_id, scope=scope)
 
 
 def ok_response(request_id: Any, result: dict[str, Any]) -> dict[str, Any]:

@@ -282,6 +282,29 @@ class StoreRegistry:
             self._publish(name, replacement)
         return replacement, applied
 
+    def refresh_if_stale(self, name: str) -> tuple[TenantEntry, int]:
+        """Catch a tenant up with its on-disk artifact, if it moved.
+
+        The restart-convergence path of the worker fleet: a worker
+        re-forked after a crash inherits the supervisor's registry
+        snapshot from fork time, which may predate ``apply_deltas``
+        batches its peers already absorbed.  Compares the on-disk
+        manifest against the served store and delegates to
+        :meth:`apply_deltas` when the artifact advanced; a tenant that
+        is already current costs one manifest read and publishes
+        nothing.  Returns ``(entry, applied)`` like :meth:`apply_deltas`.
+        """
+        current = self._tenants.get(name)
+        if current is None:
+            raise DatasetError(
+                f"cannot refresh unknown tenant {name!r}; "
+                f"registered tenants: {self.names()}"
+            )
+        manifest = StoreManifest.load(current.path)
+        if manifest.generation <= current.store.manifest.generation:
+            return current, 0
+        return self.apply_deltas(name)
+
     def _publish(self, name: str, entry: TenantEntry) -> None:
         # Replace the whole dict so readers only ever see a fully
         # consistent mapping (dict reads are atomic under the GIL, but

@@ -38,22 +38,29 @@ after it use the new one — nothing in between can observe a torn state.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import os
+import socket as socket_module
 import threading
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import DatasetError, ReproError
 from repro.query.canonical import canonical_key
 from repro.query.parser import parse_pattern
 from repro.query.pattern import QueryPattern
 from repro.server import protocol
+from repro.server.client import EstimationClient
 from repro.server.coalescer import SingleFlight
 from repro.server.protocol import ProtocolError, Request
 from repro.server.registry import StoreRegistry, TenantEntry
 from repro.service.session import EstimatorSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.server.fleet import FleetContext
 
 __all__ = ["ServerConfig", "EstimationServer", "ThreadedServer"]
 
@@ -145,22 +152,38 @@ class _TenantMetrics:
 
 
 class EstimationServer:
-    """One serving process: registry + coalescer + admission control."""
+    """One serving process: registry + coalescer + admission control.
+
+    In fleet mode (``fleet`` is a
+    :class:`~repro.server.fleet.FleetContext`), the process is one of N
+    workers sharing the public port: it accepts on pre-bound inherited
+    sockets, answers the ``fleet`` verb with the worker topology, and
+    fans non-``scope=local`` control verbs (``stats``/``reload``/
+    ``apply_deltas``/``shutdown``) out to its peers' direct ports so a
+    client talking to *any* worker drives the whole fleet.
+    """
 
     def __init__(
-        self, registry: StoreRegistry, config: ServerConfig | None = None
+        self,
+        registry: StoreRegistry,
+        config: ServerConfig | None = None,
+        fleet: "FleetContext | None" = None,
     ):
         self.registry = registry
         self.config = config or ServerConfig()
+        self.fleet = fleet
         self.coalescer = SingleFlight()
         # One spare worker beyond the admission cap so ``reload`` (which
-        # does disk I/O on the pool) cannot starve behind estimates.
+        # does disk I/O on the pool) cannot starve behind estimates; in
+        # fleet mode, enough extra spares that a full control fan-out to
+        # every peer can never starve behind estimates either.
+        spares = 1 + (len(fleet.members) if fleet is not None else 0)
         self._executor = ThreadPoolExecutor(
-            max_workers=self.config.max_inflight + 1,
+            max_workers=self.config.max_inflight + spares,
             thread_name_prefix="repro-serve",
         )
         self._semaphore: asyncio.Semaphore | None = None
-        self._server: asyncio.AbstractServer | None = None
+        self._servers: list[asyncio.AbstractServer] = []
         self._shutdown_event: asyncio.Event | None = None
         self._pending_shutdown = False
         self._draining = False
@@ -174,30 +197,55 @@ class EstimationServer:
         self._verb_counts: Counter = Counter()
         self._tenant_metrics: dict[str, _TenantMetrics] = {}
         self._writers: set[asyncio.StreamWriter] = set()
+        # Writers with a request currently inside ``_dispatch`` — the
+        # connections that must see a typed ``shutting_down`` error (not
+        # a bare reset) if the shutdown grace window expires on them.
+        self._busy_writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> tuple[str, int]:
-        """Bind and start accepting connections; returns (host, port)."""
+    async def start(
+        self, sockets: list[socket_module.socket] | None = None
+    ) -> tuple[str, int]:
+        """Bind and start accepting connections; returns (host, port).
+
+        ``sockets`` serves on pre-bound listening sockets instead of
+        binding ``config.host:port`` — the fleet path, where a worker
+        inherits its ``SO_REUSEPORT`` share of the public port plus its
+        own direct socket from the supervisor.  One asyncio server is
+        started per socket; ``address`` reports the first.
+        """
         self._semaphore = asyncio.Semaphore(self.config.max_inflight)
         self._shutdown_event = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            host=self.config.host,
-            port=self.config.port,
-            limit=protocol.MAX_LINE_BYTES,
-        )
+        if sockets:
+            for sock in sockets:
+                self._servers.append(
+                    await asyncio.start_server(
+                        self._handle_connection,
+                        sock=sock,
+                        limit=protocol.MAX_LINE_BYTES,
+                    )
+                )
+        else:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_connection,
+                    host=self.config.host,
+                    port=self.config.port,
+                    limit=protocol.MAX_LINE_BYTES,
+                )
+            )
         self._started_at = time.monotonic()
         return self.address
 
     @property
     def address(self) -> tuple[str, int]:
         """The bound (host, port) — useful with ``port=0``."""
-        if self._server is None:
+        if not self._servers:
             raise RuntimeError("server is not started")
-        name = self._server.sockets[0].getsockname()
+        name = self._servers[0].sockets[0].getsockname()
         return name[0], name[1]
 
     def request_shutdown(self) -> None:
@@ -215,12 +263,32 @@ class EstimationServer:
     async def stop(self) -> None:
         """Stop accepting, drain in-flight requests, release the pool."""
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
         deadline = time.monotonic() + self.config.shutdown_grace_seconds
         while self._admitted > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.01)
+        if self._admitted > 0:
+            # Grace expired with requests still in flight: those clients
+            # get the typed ``shutting_down`` error the taxonomy promises
+            # (exit 3, retryable) rather than a bare connection reset.
+            expiry_line = protocol.encode_line(
+                protocol.error_response(
+                    None,
+                    protocol.SHUTTING_DOWN,
+                    "server shutdown grace period "
+                    f"({self.config.shutdown_grace_seconds:g}s) expired "
+                    "before the request finished; retry elsewhere",
+                )
+            )
+            for writer in list(self._busy_writers):
+                with contextlib.suppress(Exception):
+                    writer.write(expiry_line)
+            for writer in list(self._busy_writers):
+                with contextlib.suppress(Exception):
+                    await asyncio.wait_for(writer.drain(), timeout=1.0)
         for writer in list(self._writers):
             writer.close()
         # Let the connection handlers observe EOF and unwind before the
@@ -264,7 +332,11 @@ class EstimationServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._dispatch(line)
+                self._busy_writers.add(writer)
+                try:
+                    response = await self._dispatch(line)
+                finally:
+                    self._busy_writers.discard(writer)
                 writer.write(protocol.encode_line(response))
                 await writer.drain()
                 if self._pending_shutdown:
@@ -290,26 +362,43 @@ class EstimationServer:
             self._verb_counts["_unparsed"] += 1
             return protocol.error_response(None, error.code, error.message)
         self._verb_counts[request.verb] += 1
+        fan_wide = self.fleet is not None and not request.local
         try:
             if request.verb == "ping":
                 response = protocol.ok_response(
                     request.id,
                     {"pong": True, "tenants": self.registry.names()},
                 )
+            elif request.verb == "fleet":
+                response = protocol.ok_response(
+                    request.id, self.fleet_result()
+                )
             elif request.verb == "stats":
-                response = protocol.ok_response(
-                    request.id, self.stats_result()
-                )
+                if fan_wide:
+                    response = await self._fan_out(request)
+                else:
+                    response = protocol.ok_response(
+                        request.id, self.stats_result()
+                    )
             elif request.verb == "shutdown":
-                self._draining = True
-                self._pending_shutdown = True
-                response = protocol.ok_response(
-                    request.id, {"shutting_down": True}
-                )
+                if fan_wide:
+                    response = await self._fan_out(request)
+                else:
+                    self._draining = True
+                    self._pending_shutdown = True
+                    response = protocol.ok_response(
+                        request.id, {"shutting_down": True}
+                    )
             elif request.verb == "reload":
-                response = await self._handle_reload(request)
+                if fan_wide:
+                    response = await self._fan_out(request)
+                else:
+                    response = await self._handle_reload(request)
             elif request.verb == "apply_deltas":
-                response = await self._handle_apply_deltas(request)
+                if fan_wide:
+                    response = await self._fan_out(request)
+                else:
+                    response = await self._handle_apply_deltas(request)
             else:
                 response = await self._handle_estimate(request)
         except ProtocolError as error:
@@ -395,9 +484,28 @@ class EstimationServer:
                 entry.session.validate_spec(spec)
             except ValueError as error:
                 raise ProtocolError(protocol.UNSUPPORTED_SPEC, str(error))
+        started = time.perf_counter()
+        # Warm fast path: when every requested estimator is already in
+        # the tenant's estimate LRU, answer on the event loop without
+        # the executor round-trip.  The cached floats are the exact
+        # objects a worker thread would return, so responses stay
+        # bit-identical; admission and deadline accounting still wrap
+        # this call — only the thread hop (and a pool slot) is skipped.
+        cached = entry.session.peek_estimates(pattern, specs)
+        if cached is not None:
+            return protocol.ok_response(
+                request.id,
+                {
+                    "tenant": entry.name,
+                    "generation": entry.generation,
+                    "query": request.query,
+                    "estimates": cached,
+                    "errors": {},
+                    "seconds": time.perf_counter() - started,
+                },
+            )
         assert self._semaphore is not None
         loop = asyncio.get_running_loop()
-        started = time.perf_counter()
         await self._semaphore.acquire()
         self._running += 1
 
@@ -546,6 +654,121 @@ class EstimationServer:
         )
 
     # ------------------------------------------------------------------
+    # Fleet fan-out
+    # ------------------------------------------------------------------
+    async def _fan_out(self, request: Request) -> dict[str, Any]:
+        """Fan a control verb out fleet-wide; one raw response per worker.
+
+        The accepting worker answers its own slot inline (a TCP hop to
+        itself would deadlock behind this very dispatch) and queries each
+        peer's direct port on the thread pool with ``scope: "local"`` so
+        the fan-out can never recurse.  A peer that cannot be reached —
+        crashed and awaiting supervisor restart — contributes a typed
+        ``worker_unreachable`` slot instead of failing the whole fan.
+        """
+        assert self.fleet is not None
+        loop = asyncio.get_running_loop()
+        payload = self._peer_payload(request)
+        futures = {
+            member.index: loop.run_in_executor(
+                self._executor, self._peer_call, member.direct_port, payload
+            )
+            for member in self.fleet.members
+            if member.index != self.fleet.index
+        }
+        workers: dict[str, dict[str, Any]] = {
+            str(self.fleet.index): await self._local_control_response(request)
+        }
+        for index, future in futures.items():
+            workers[str(index)] = await future
+        all_ok = all(slot.get("ok") for slot in workers.values())
+        result: dict[str, Any] = {
+            "fleet": True,
+            "verb": request.verb,
+            "ok": all_ok,
+            "workers": workers,
+        }
+        if request.verb == "stats":
+            result["aggregate"] = _aggregate_fleet_stats(workers)
+        if request.verb == "shutdown":
+            # Peers are draining; now schedule our own drain.  The flag
+            # is consumed by the connection handler *after* this
+            # response reaches the wire, so the caller always sees the
+            # fleet-wide acknowledgement before the socket dies.
+            self._draining = True
+            self._pending_shutdown = True
+        return protocol.ok_response(request.id, result)
+
+    def _peer_payload(self, request: Request) -> dict[str, Any]:
+        """The scope-local wire payload that replays ``request`` on a peer."""
+        payload: dict[str, Any] = {
+            "v": protocol.PROTOCOL_VERSION,
+            "verb": request.verb,
+            "scope": "local",
+        }
+        if request.tenant is not None:
+            payload["tenant"] = request.tenant
+        if request.path is not None:
+            payload["path"] = request.path
+        if request.allow_fingerprint_change:
+            payload["allow_fingerprint_change"] = True
+        return payload
+
+    def _peer_call(
+        self, direct_port: int, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Thread-pool body: one scope-local request to one peer."""
+        assert self.fleet is not None
+        try:
+            with EstimationClient(
+                self.fleet.host, direct_port, timeout=30.0
+            ) as peer:
+                return peer.request(payload)
+        except Exception as error:
+            return protocol.error_response(
+                None,
+                protocol.WORKER_UNREACHABLE,
+                f"worker at {self.fleet.host}:{direct_port} is unreachable "
+                f"({type(error).__name__}: {error}); the supervisor "
+                "restarts crashed workers — retry shortly",
+            )
+
+    async def _local_control_response(
+        self, request: Request
+    ) -> dict[str, Any]:
+        """This worker's own slot of a fan-out, as a raw wire response."""
+        try:
+            if request.verb == "stats":
+                return protocol.ok_response(None, self.stats_result())
+            if request.verb == "shutdown":
+                # Flags are set by _fan_out after the peers answered.
+                return protocol.ok_response(None, {"shutting_down": True})
+            if request.verb == "reload":
+                response = await self._handle_reload(request)
+            else:
+                response = await self._handle_apply_deltas(request)
+            response["id"] = None
+            return response
+        except ProtocolError as error:
+            return protocol.error_response(None, error.code, error.message)
+
+    def fleet_result(self) -> dict[str, Any]:
+        """The ``fleet`` verb payload: worker topology and assignment."""
+        if self.fleet is None:
+            return {"fleet": False, "tenants": self.registry.names()}
+        return {
+            "fleet": True,
+            "worker": {"index": self.fleet.index, "pid": os.getpid()},
+            "host": self.fleet.host,
+            "port": self.fleet.port,
+            "workers": [
+                {"index": member.index, "direct_port": member.direct_port}
+                for member in self.fleet.members
+            ],
+            "assignment": dict(self.fleet.assignment),
+        }
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats_result(self) -> dict[str, Any]:
@@ -558,7 +781,7 @@ class EstimationServer:
                 if metrics is not None
                 else _TenantMetrics().as_dict()
             )
-        return {
+        result: dict[str, Any] = {
             "uptime_seconds": (
                 time.monotonic() - self._started_at if self._started_at else 0.0
             ),
@@ -579,6 +802,65 @@ class EstimationServer:
                 "by_verb": dict(self._verb_counts),
             },
         }
+        if self.fleet is not None:
+            result["worker"] = {
+                "index": self.fleet.index,
+                "pid": os.getpid(),
+                "direct_port": self.fleet.members[
+                    self.fleet.index
+                ].direct_port,
+            }
+            result["tenant_assignment"] = dict(self.fleet.assignment)
+        return result
+
+
+def _aggregate_fleet_stats(
+    workers: dict[str, dict[str, Any]]
+) -> dict[str, Any]:
+    """Fleet-wide totals over the per-worker slots of a stats fan-out."""
+    by_verb: Counter = Counter()
+    tenants: dict[str, dict[str, Any]] = {}
+    totals = {
+        "requests_total": 0,
+        "shed_total": 0,
+        "deadline_exceeded_total": 0,
+        "abandoned": 0,
+    }
+    reporting = 0
+    for _index, slot in sorted(workers.items(), key=lambda kv: int(kv[0])):
+        if not slot.get("ok"):
+            continue
+        reporting += 1
+        stats = slot.get("result") or {}
+        requests = stats.get("requests") or {}
+        totals["requests_total"] += int(requests.get("total", 0))
+        by_verb.update(requests.get("by_verb") or {})
+        admission = stats.get("admission") or {}
+        totals["shed_total"] += int(admission.get("shed_total", 0))
+        totals["deadline_exceeded_total"] += int(
+            admission.get("deadline_exceeded_total", 0)
+        )
+        totals["abandoned"] += int(admission.get("abandoned", 0))
+        assignment = stats.get("tenant_assignment") or {}
+        for name, tenant_stats in (stats.get("tenants") or {}).items():
+            aggregate = tenants.setdefault(
+                name,
+                {
+                    "requests": 0,
+                    "ok": 0,
+                    "owner": assignment.get(name),
+                    "generation": tenant_stats.get("generation"),
+                },
+            )
+            tenant_requests = tenant_stats.get("requests") or {}
+            aggregate["requests"] += int(tenant_requests.get("requests", 0))
+            aggregate["ok"] += int(tenant_requests.get("ok", 0))
+    return {
+        "workers_reporting": reporting,
+        "by_verb": dict(by_verb),
+        "tenants": tenants,
+        **totals,
+    }
 
 
 class ThreadedServer:

@@ -87,6 +87,23 @@ class LRUCache(Generic[V]):
         with self._lock:
             return self._data.get(key)
 
+    def probe(self, key: Hashable) -> V | None:
+        """A hit behaves exactly like :meth:`get`; a miss is uncounted.
+
+        The serving fast path answers warm requests straight off the
+        cache without dispatching a worker thread.  When the probe
+        misses, the ``get`` inside the real computation records the one
+        logical miss, so lookup accounting stays exact either way.
+        """
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
     def put(self, key: Hashable, value: V) -> None:
         """Insert (or refresh) a key, evicting the LRU entry at capacity."""
         with self._lock:

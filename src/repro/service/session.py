@@ -414,6 +414,27 @@ class EstimationSession:
         self._estimates.put(key, value)
         return value
 
+    def peek_estimates(
+        self, pattern: QueryPattern, specs: Sequence[EstimatorSpec]
+    ) -> dict[str, float] | None:
+        """Cached floats for *every* spec, or None when any is missing.
+
+        The non-blocking probe behind the server's warm fast path: an
+        all-hit request is answered on the event loop without a worker
+        thread.  The floats are the exact objects :meth:`estimate`
+        cached, so callers see bit-identical values either way; errors
+        are never cached, so an all-hit probe implies no per-query
+        failures.  Specs must already be validated.
+        """
+        shape = canonical_key(pattern)
+        out: dict[str, float] = {}
+        for spec in specs:
+            cached = self._estimates.probe((shape, spec))
+            if cached is None:
+                return None
+            out[spec.name] = cached
+        return out
+
     def estimate_one(
         self, pattern: QueryPattern, spec: EstimatorSpec | str = "max-hop-max"
     ) -> BatchItem:

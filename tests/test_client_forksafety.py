@@ -1,0 +1,167 @@
+"""Client-side regression tests: fork-safety and readiness deadlines.
+
+Two of the ISSUE's satellite bugfixes live here:
+
+* an :class:`EstimationClient` connected before ``fork()`` must not let
+  parent and child interleave writes on the shared socket fd — the
+  child transparently reconnects when it notices the pid changed;
+* ``wait_until_ready(timeout=T)`` must return or raise within ~T even
+  when the host accepts SYNs slowly (each probe's socket timeout was a
+  hardcoded 5 s, overshooting small deadlines by seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+import pytest
+
+from repro.datasets.presets import running_example_graph
+from repro.server import (
+    EstimationClient,
+    ServerConfig,
+    ServerUnavailable,
+    StoreRegistry,
+    ThreadedServer,
+    wait_until_ready,
+)
+from repro.stats import StatsBuildConfig, build_statistics
+
+QUERY = "a -[A]-> b -[B]-> c"
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    base = tmp_path_factory.mktemp("forksafety")
+    store = build_statistics(
+        running_example_graph(),
+        StatsBuildConfig(h=2, molp_h=2),
+        dataset_name="example",
+    )
+    store.save(base)
+    return base
+
+
+@pytest.fixture()
+def server(artifact_dir):
+    registry = StoreRegistry()
+    registry.load("example", artifact_dir)
+    with ThreadedServer(registry, ServerConfig(port=0)) as threaded:
+        yield threaded
+
+
+class TestForkSafety:
+    def test_forked_child_reconnects_and_parent_survives(self, server):
+        """A pre-fork connection serves both processes without desync.
+
+        The child must notice the inherited fd belongs to the parent
+        and reconnect; the parent's stream must keep its framing — the
+        regression was both processes writing on one socket.
+        """
+        client = EstimationClient(server.host, server.port)
+        try:
+            before = client.estimate("example", QUERY)["estimates"]
+            parent_pid = os.getpid()
+            read_fd, write_fd = os.pipe()
+            child = os.fork()
+            if child == 0:
+                # Child: report via the pipe and never unwind into the
+                # pytest stack (os._exit skips teardown machinery).
+                status = 1
+                try:
+                    os.close(read_fd)
+                    result = client.estimate("example", QUERY)
+                    payload = {
+                        "estimates": result["estimates"],
+                        "reconnected": client._owner_pid == os.getpid()
+                        and client._owner_pid != parent_pid,
+                    }
+                    os.write(write_fd, json.dumps(payload).encode())
+                    os.close(write_fd)
+                    status = 0
+                finally:
+                    os._exit(status)
+            os.close(write_fd)
+            chunks = b""
+            while True:
+                chunk = os.read(read_fd, 65536)
+                if not chunk:
+                    break
+                chunks += chunk
+            os.close(read_fd)
+            _, wstatus = os.waitpid(child, 0)
+            assert os.waitstatus_to_exitcode(wstatus) == 0, (
+                "forked child failed to estimate over the inherited client"
+            )
+            reported = json.loads(chunks)
+            assert reported["reconnected"], (
+                "child kept using the parent's socket fd instead of "
+                "reconnecting"
+            )
+            assert reported["estimates"] == before
+            # The parent's connection (and its framing) must be intact.
+            assert client._owner_pid == parent_pid
+            after = client.estimate("example", QUERY)["estimates"]
+            assert after == before
+        finally:
+            client.close()
+
+    def test_owner_pid_recorded_at_connect(self, server):
+        with EstimationClient(server.host, server.port) as client:
+            assert client._owner_pid is None
+            client.ping()
+            assert client._owner_pid == os.getpid()
+
+
+class TestWaitUntilReadyDeadline:
+    def test_unreachable_port_honours_timeout(self):
+        # Nothing listens: each probe fails fast (connection refused),
+        # so the loop spins until the deadline and raises on time.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        started = time.monotonic()
+        with pytest.raises(ServerUnavailable):
+            wait_until_ready("127.0.0.1", port, timeout=0.5)
+        assert time.monotonic() - started < 2.0
+
+    def test_slow_accepting_host_cannot_overshoot(self):
+        """Probes against a full accept queue are clamped to the deadline.
+
+        A listener with an exhausted backlog never answers the ping, so
+        each probe blocks until *its* socket timeout.  The regression
+        hardcoded 5 s per probe, making ``timeout=1.0`` block ~5 s; the
+        clamp keeps the total within the stated deadline.
+        """
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(0)
+        address = listener.getsockname()
+        fillers = []
+        try:
+            # Saturate the accept queue; once full, further connects
+            # hang in SYN retry (or connect but never get answered).
+            for _ in range(8):
+                filler = socket.socket()
+                filler.settimeout(0.25)
+                try:
+                    filler.connect(address)
+                except OSError:
+                    pass
+                fillers.append(filler)
+            started = time.monotonic()
+            with pytest.raises(ServerUnavailable):
+                wait_until_ready(address[0], address[1], timeout=1.0)
+            elapsed = time.monotonic() - started
+            assert elapsed < 3.0, (
+                f"wait_until_ready(timeout=1.0) blocked {elapsed:.1f}s — "
+                "per-probe timeout is not clamped to the deadline"
+            )
+        finally:
+            for filler in fillers:
+                filler.close()
+            listener.close()

@@ -1,0 +1,404 @@
+"""Fleet tests: consistent hashing, restart catch-up, chaos under load.
+
+The tentpole's acceptance surface:
+
+* the consistent-hash tenant assignment is deterministic across
+  processes and moves few tenants when the fleet resizes;
+* ``StoreRegistry.refresh_if_stale`` converges a fork-time registry
+  snapshot with delta batches applied on disk since (the restarted
+  worker's catch-up path);
+* a live ``repro serve --workers N`` fleet answers the ``fleet`` verb,
+  routes by tenant affinity, fans control verbs out, and aggregates
+  ``stats``;
+* chaos: SIGKILL one worker under concurrent load — the supervisor
+  restarts it, no request is silently lost (each either succeeds or
+  fails with a typed transient), and post-restart floats stay
+  bit-identical to the in-process session;
+* SIGTERM drains the whole fleet cleanly with empty stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.presets import running_example_graph
+from repro.delta import UpdateBatch, apply_updates
+from repro.query.parser import parse_pattern
+from repro.server import (
+    FleetClient,
+    ServerError,
+    ServerUnavailable,
+    StoreRegistry,
+    assign_tenants,
+    wait_until_ready,
+)
+from repro.service.session import EstimatorSpec
+from repro.stats import StatisticsStore, StatsBuildConfig, build_statistics
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+ALL_SPECS = [
+    f"{hop}-{agg}"
+    for hop in ("max-hop", "min-hop", "all-hops")
+    for agg in ("max", "min", "avg")
+] + ["MOLP"]
+
+QUERIES = [
+    "a -[A]-> b -[B]-> c",
+    "x -[B]-> y -[C]-> z",
+    "u -[B]-> v, u -[B]-> w",
+]
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing (pure functions, no processes)
+# ----------------------------------------------------------------------
+class TestAssignment:
+    def test_deterministic_and_in_range(self):
+        tenants = [f"tenant-{i}" for i in range(50)]
+        first = assign_tenants(tenants, 4)
+        second = assign_tenants(tenants, 4)
+        assert first == second, "assignment must be stable across calls"
+        assert set(first) == set(tenants)
+        assert all(0 <= index < 4 for index in first.values())
+
+    def test_spreads_tenants_across_workers(self):
+        tenants = [f"tenant-{i}" for i in range(64)]
+        assignment = assign_tenants(tenants, 4)
+        owners = set(assignment.values())
+        assert owners == {0, 1, 2, 3}, (
+            f"64 tenants landed on only {sorted(owners)} of 4 workers"
+        )
+
+    def test_resize_moves_a_minority(self):
+        tenants = [f"tenant-{i}" for i in range(200)]
+        before = assign_tenants(tenants, 4)
+        after = assign_tenants(tenants, 5)
+        moved = sum(1 for t in tenants if before[t] != after[t])
+        # Naive modulo hashing moves ~4/5 of tenants; the ring should
+        # move roughly the 1/5 arc the new worker takes over.
+        assert moved < len(tenants) // 2, (
+            f"{moved}/{len(tenants)} tenants moved on a 4→5 resize"
+        )
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            assign_tenants(["a"], 0)
+
+
+# ----------------------------------------------------------------------
+# Restart catch-up: refresh_if_stale
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def artifact_dir(tmp_path):
+    store = build_statistics(
+        running_example_graph(),
+        StatsBuildConfig(h=2, molp_h=2),
+        dataset_name="example",
+    )
+    store.save(tmp_path / "art")
+    return tmp_path / "art"
+
+
+BATCH = UpdateBatch(
+    [["+", 0, 5, "B"], ["-", 3, 5, "B"], ["+", 6, 8, "C"]]
+)
+
+
+def apply_batch_offline(artifact_dir):
+    """What ``repro updates apply`` does, in-process for speed."""
+    store = StatisticsStore.load(artifact_dir, graph=running_example_graph())
+    return apply_updates(
+        store, BATCH, directory=artifact_dir, compact_threshold=100.0
+    )
+
+
+class TestRefreshIfStale:
+    def test_noop_when_artifact_unchanged(self, artifact_dir):
+        registry = StoreRegistry()
+        entry = registry.load("example", artifact_dir)
+        refreshed, applied = registry.refresh_if_stale("example")
+        assert applied == 0
+        assert refreshed is entry
+
+    def test_catches_up_with_on_disk_deltas(self, artifact_dir):
+        # A restarted worker's registry is the fork-time snapshot; the
+        # artifact on disk may have absorbed delta batches meanwhile.
+        registry = StoreRegistry()
+        old = registry.load("example", artifact_dir)
+        apply_batch_offline(artifact_dir)
+        refreshed, applied = registry.refresh_if_stale("example")
+        assert applied == 1
+        assert refreshed.generation == old.generation + 1
+        assert refreshed.store.manifest.generation == 1
+
+    def test_unknown_tenant_raises(self, artifact_dir):
+        from repro.errors import DatasetError
+
+        registry = StoreRegistry()
+        with pytest.raises(DatasetError):
+            registry.refresh_if_stale("nope")
+
+
+# ----------------------------------------------------------------------
+# Live fleets (subprocess `repro serve --workers N`)
+# ----------------------------------------------------------------------
+class FleetProcess:
+    """A ``repro serve --workers N`` subprocess plus its event stream."""
+
+    def __init__(self, artifact_dir: Path, workers: int = 2):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--tenant", f"t1={artifact_dir}",
+                "--tenant", f"t2={artifact_dir}",
+                "--port", "0",
+                "--workers", str(workers),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+            text=True,
+        )
+        self.events: list[dict] = []
+        self._events_lock = threading.Lock()
+        self._reader = threading.Thread(target=self._read_events, daemon=True)
+        self._reader.start()
+        self.ready = self.wait_event(lambda e: e["event"] == "ready", 60.0)
+        self.host = self.ready["host"]
+        self.port = self.ready["port"]
+        wait_until_ready(self.host, self.port, timeout=30.0)
+
+    def _read_events(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            line = line.strip()
+            if not line:
+                continue
+            with self._events_lock:
+                self.events.append(json.loads(line))
+
+    def wait_event(self, predicate, timeout: float) -> dict:
+        deadline = time.monotonic() + timeout
+        seen = 0
+        while time.monotonic() < deadline:
+            with self._events_lock:
+                fresh = self.events[seen:]
+                seen = len(self.events)
+            for event in fresh:
+                if predicate(event):
+                    return event
+            if self.proc.poll() is not None and seen == len(self.events):
+                break
+            time.sleep(0.02)
+        raise AssertionError(
+            f"fleet event did not arrive within {timeout}s; "
+            f"saw {self.events}, rc={self.proc.poll()}"
+        )
+
+    def worker_pids(self) -> dict[int, int]:
+        """Current pid per worker index, restart events applied."""
+        pids = {w["index"]: w["pid"] for w in self.ready["workers"]}
+        with self._events_lock:
+            for event in self.events:
+                if event["event"] == "worker-started":
+                    pids[event["index"]] = event["pid"]
+        return pids
+
+    def finish(self, timeout: float = 30.0) -> tuple[int, str]:
+        """Wait for exit; returns (returncode, stderr)."""
+        self.proc.wait(timeout=timeout)
+        self._reader.join(5.0)
+        stderr = self.proc.stderr.read() if self.proc.stderr else ""
+        return self.proc.returncode, stderr
+
+    def cleanup(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+        if self.proc.stdout:
+            self.proc.stdout.close()
+        if self.proc.stderr:
+            self.proc.stderr.close()
+
+
+@pytest.fixture()
+def fleet(artifact_dir):
+    fleet = FleetProcess(artifact_dir, workers=2)
+    yield fleet
+    fleet.cleanup()
+
+
+@pytest.fixture()
+def reference_session(artifact_dir):
+    return StatisticsStore.load(artifact_dir).session()
+
+
+class TestFleetServing:
+    def test_topology_and_affinity_routing(self, fleet, reference_session):
+        patterns = [parse_pattern(text) for text in QUERIES]
+        batch = reference_session.estimate_batch(patterns, specs=ALL_SPECS)
+        with FleetClient(fleet.host, fleet.port) as client:
+            info = client.fleet()
+            assert info["fleet"] is True
+            assert len(info["workers"]) == 2
+            assert set(info["assignment"]) == {"t1", "t2"}
+            # Every estimate, on both tenants, bit-identical in-process.
+            for tenant in ("t1", "t2"):
+                for index, text in enumerate(QUERIES):
+                    served = client.estimate(tenant, text, ALL_SPECS)
+                    for spec in ALL_SPECS:
+                        cell = batch.item(index, spec)
+                        if cell.ok:
+                            assert served["estimates"][spec] == cell.estimate
+                        else:
+                            assert served["errors"][spec] == cell.error
+            # stats fans out and aggregates: both workers report, and
+            # each tenant's requests were counted on its home worker.
+            stats = client.stats()
+            assert stats["fleet"] is True
+            aggregate = stats["aggregate"]
+            assert aggregate["workers_reporting"] == 2
+            for tenant in ("t1", "t2"):
+                per_tenant = aggregate["tenants"][tenant]
+                assert per_tenant["requests"] == len(QUERIES)
+                assert per_tenant["ok"] == len(QUERIES)
+                assert per_tenant["owner"] == info["assignment"][tenant]
+
+    def test_scope_local_pins_to_one_worker(self, fleet):
+        from repro.server import EstimationClient, protocol
+
+        with EstimationClient(fleet.host, fleet.port) as client:
+            response = client.request(
+                {
+                    "v": protocol.PROTOCOL_VERSION,
+                    "verb": "stats",
+                    "scope": "local",
+                }
+            )
+            assert response["ok"]
+            result = response["result"]
+            # A local stats answer is one worker's flat snapshot, not
+            # the fanned wrapper — the guard that fan-out cannot recurse.
+            assert "fleet" not in result
+            assert "admission" in result
+            assert result["worker"]["index"] in (0, 1)
+
+    def test_apply_deltas_fans_to_every_worker(self, fleet, artifact_dir):
+        apply_batch_offline(artifact_dir)
+        with FleetClient(fleet.host, fleet.port) as client:
+            outcome = client.apply_deltas("t1")
+            assert outcome["fleet"] is True
+            assert outcome["ok"] is True
+            assert len(outcome["workers"]) == 2
+            for slot in outcome["workers"].values():
+                assert slot["ok"], slot
+                assert slot["result"]["applied"] == 1
+                assert slot["result"]["artifact_generation"] == 1
+
+
+class TestFleetChaos:
+    def test_sigkill_under_load_restarts_and_loses_nothing(
+        self, fleet, reference_session
+    ):
+        """The chaos satellite: kill -9 one worker mid-traffic."""
+        outcomes: list[tuple[str, object]] = []
+        outcomes_lock = threading.Lock()
+        stop = threading.Event()
+
+        def hammer(tenant: str) -> None:
+            with FleetClient(fleet.host, fleet.port, timeout=10.0) as client:
+                while not stop.is_set():
+                    try:
+                        result = client.estimate(tenant, QUERIES[0])
+                        record = ("ok", result["estimates"]["max-hop-max"])
+                    except ServerError as error:
+                        record = ("server_error", error)
+                    except ServerUnavailable as error:
+                        record = ("unavailable", error)
+                    with outcomes_lock:
+                        outcomes.append(record)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tenant,))
+            for tenant in ("t1", "t2")
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            time.sleep(0.5)  # load is flowing
+            victim = fleet.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            restarted = fleet.wait_event(
+                lambda e: e["event"] == "worker-started" and e["index"] == 0,
+                30.0,
+            )
+            assert restarted["pid"] != victim
+            time.sleep(1.0)  # traffic over the restarted worker too
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(30.0)
+        exited = fleet.wait_event(
+            lambda e: e["event"] == "worker-exited" and e["index"] == 0, 5.0
+        )
+        assert exited["exitcode"] not in (0, None)
+        # No request silently lost: every outcome is a success or a
+        # typed transient (exit-code-3 taxonomy) — never a wrong float,
+        # an untyped error, or a hang.
+        assert outcomes, "load generators recorded nothing"
+        reference = reference_session.estimate_one(
+            parse_pattern(QUERIES[0]),
+            EstimatorSpec.from_name("max-hop-max"),
+        ).estimate
+        failures = []
+        for kind, value in outcomes:
+            if kind == "ok":
+                if value != reference:
+                    failures.append(f"wrong float {value!r}")
+            elif kind == "server_error":
+                if value.exit_code != 3:
+                    failures.append(f"non-transient error {value}")
+            # "unavailable" is the typed transient transport failure.
+        assert not failures, failures[:5]
+        ok_count = sum(1 for kind, _ in outcomes if kind == "ok")
+        assert ok_count > 0, "no request succeeded under chaos"
+        # Post-restart, the full fleet reports again and the restarted
+        # worker serves bit-identical floats (asserted via `reference`
+        # above for every post-kill success).
+        with FleetClient(fleet.host, fleet.port) as client:
+            stats = client.stats()
+            assert stats["aggregate"]["workers_reporting"] == 2
+
+    def test_sigterm_drains_fleet_cleanly(self, fleet):
+        with FleetClient(fleet.host, fleet.port) as client:
+            assert client.estimate("t1", QUERIES[0])["estimates"]
+        fleet.proc.send_signal(signal.SIGTERM)
+        fleet.wait_event(lambda e: e["event"] == "stopped", 30.0)
+        returncode, stderr = fleet.finish()
+        assert returncode == 0
+        assert stderr == ""
+
+    def test_shutdown_verb_stops_every_worker(self, fleet):
+        with FleetClient(fleet.host, fleet.port) as client:
+            outcome = client.shutdown()
+            assert outcome["fleet"] is True
+            assert outcome["ok"] is True
+        fleet.wait_event(lambda e: e["event"] == "stopped", 30.0)
+        returncode, stderr = fleet.finish()
+        assert returncode == 0
+        assert stderr == ""

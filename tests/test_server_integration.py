@@ -411,6 +411,61 @@ class TestShutdown:
             with EstimationClient(threaded.host, threaded.port) as client:
                 client.ping()
 
+    def test_grace_expiry_sends_typed_shutting_down(self, artifact_dirs):
+        """Satellite regression: a request straddling the drain window.
+
+        When the shutdown grace expires with a request still computing,
+        its client must receive the typed ``shutting_down`` error (exit
+        3) the protocol taxonomy promises — the regression closed the
+        socket outright, surfacing as a bare connection reset.
+        """
+        registry = StoreRegistry()
+        registry.load("example", artifact_dirs / "v1")
+        entry = registry.get("example")
+        original = entry.session.estimate_one
+
+        def slow_estimate(pattern, spec):
+            time.sleep(1.5)  # far longer than the grace window below
+            return original(pattern, spec)
+
+        entry.session.estimate_one = slow_estimate
+        threaded = ThreadedServer(
+            registry,
+            ServerConfig(port=0, shutdown_grace_seconds=0.2),
+        )
+        threaded.start()
+        outcome: dict = {}
+
+        def straddler():
+            try:
+                with EstimationClient(
+                    threaded.host, threaded.port, timeout=30.0
+                ) as client:
+                    outcome["result"] = client.estimate(
+                        "example", "a -[A]-> b"
+                    )
+            except ServerError as error:
+                outcome["error"] = error
+            except ServerUnavailable as error:
+                outcome["reset"] = error
+
+        worker = threading.Thread(target=straddler)
+        worker.start()
+        time.sleep(0.4)  # request is admitted and sleeping in the pool
+        threaded.stop()
+        worker.join(30)
+        assert not worker.is_alive()
+        assert "reset" not in outcome, (
+            f"in-flight client saw a bare connection reset instead of "
+            f"the typed shutting_down error: {outcome.get('reset')}"
+        )
+        error = outcome.get("error")
+        assert error is not None, (
+            f"slow request unexpectedly completed: {outcome.get('result')}"
+        )
+        assert error.code == "shutting_down"
+        assert error.exit_code == 3
+
 
 class TestQueryCli:
     def run_cli(self, capsys, *argv):
