@@ -5,8 +5,10 @@ benchmark (vectorized vs legacy cyclic counting), the service
 benchmark (cold-shape ``estimate_batch`` throughput vs the pre-PR
 pipeline), the server load benchmark (open-loop traffic against the
 network serving tier) and the delta-maintenance benchmark (incremental
-statistics updates vs full rebuild) and writes ``BENCH_engine.json`` /
-``BENCH_service.json`` / ``BENCH_server.json`` / ``BENCH_delta.json``
+statistics updates vs full rebuild) and the build benchmark (parallel,
+resumable statistics construction on the million-edge ``synth1m``
+preset) and writes ``BENCH_engine.json`` / ``BENCH_service.json`` /
+``BENCH_server.json`` / ``BENCH_delta.json`` / ``BENCH_build.json``
 next to this script — the perf baseline future PRs diff against.
 Re-run with ``--json`` after perf-relevant changes and commit the
 updated files so the trajectory stays in history.
@@ -28,6 +30,7 @@ HERE = Path(__file__).resolve().parent
 sys.path.insert(0, str(HERE.parent / "src"))
 sys.path.insert(0, str(HERE))
 
+import bench_build  # noqa: E402
 import bench_delta_maintenance  # noqa: E402
 import bench_engine_vectorized  # noqa: E402
 import bench_server_load  # noqa: E402
@@ -48,6 +51,7 @@ BENCHES = (
     ("BENCH_server.json", bench_server_load),
     ("BENCH_fleet.json", _fleet_bench),
     ("BENCH_delta.json", bench_delta_maintenance),
+    ("BENCH_build.json", bench_build),
 )
 
 

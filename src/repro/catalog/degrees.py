@@ -332,7 +332,10 @@ class StatRelation:
 
         canon = canonical_pattern(pattern)
         if canon == pattern:
-            return cls.from_table(pattern, table, num_vertices)
+            # Same variable names, but store `canon` anyway: equality is
+            # edge-order-insensitive, and the serialized atom order must
+            # be the canonical-key order, not the growth-path order.
+            return cls.from_table(canon, table, num_vertices)
         mapping = _isomorphism(pattern, canon)
         return cls.from_table(
             canon,

@@ -58,8 +58,14 @@ import time
 from pathlib import Path
 
 from repro.catalog.cycle_rates import CycleClosingRates
-from repro.datasets.presets import DATASETS, EXAMPLE_DATASET, load_dataset
-from repro.errors import ReproError
+from repro.datasets.presets import (
+    DATASETS,
+    EXAMPLE_DATASET,
+    SYNTHETIC_DATASETS,
+    load_dataset,
+)
+from repro.errors import BuildInterrupted, ReproError
+from repro.graph.io import load_edge_list, load_npz, load_ntriples
 from repro.experiments import (
     ExperimentConfig,
     figure9_acyclic_space,
@@ -86,6 +92,11 @@ from repro.stats import (
 )
 
 DATASET_CHOICES = sorted(DATASETS) + [EXAMPLE_DATASET]
+
+#: ``stats build`` additionally accepts the large synthetic presets.
+STATS_DATASET_CHOICES = (
+    sorted(DATASETS) + sorted(SYNTHETIC_DATASETS) + [EXAMPLE_DATASET]
+)
 
 EXPERIMENTS = {
     "table1": lambda config: table1_markov_example(),
@@ -355,11 +366,31 @@ def build_stats_parser() -> argparse.ArgumentParser:
             "one versioned statistics artifact directory."
         ),
     )
-    parser.add_argument("--dataset", choices=DATASET_CHOICES,
+    parser.add_argument("--dataset", choices=STATS_DATASET_CHOICES,
                         default=EXAMPLE_DATASET,
                         help="preset dataset to build statistics for")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="dataset scale factor (default 0.05)")
+    parser.add_argument("--graph", type=Path, default=None, metavar="FILE",
+                        help="build from a graph file instead of a preset: "
+                             ".npz (numpy artifact), .nt[.gz] (N-Triples), "
+                             "or a [gzipped] edge list")
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map the relation arrays of an "
+                             "uncompressed --graph .npz instead of copying "
+                             "them into memory")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the enumeration levels "
+                             "(default 1; the artifact is byte-identical "
+                             "for every N)")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from the checkpoint a killed build "
+                             "left under OUT/build_state/")
+    parser.add_argument("--stop-after-level", type=int, default=None,
+                        metavar="K",
+                        help="checkpoint and stop once level K completes "
+                             "(exit 3); rerun with --resume to finish — "
+                             "used by the resume smoke tests")
     parser.add_argument("--h", type=int, default=2,
                         help="Markov table size (default 2)")
     parser.add_argument("--molp-h", type=int, default=2,
@@ -384,6 +415,16 @@ def build_stats_parser() -> argparse.ArgumentParser:
     parser.add_argument("--indent", action="store_true",
                         help="pretty-print the JSON summary")
     return parser
+
+
+def _load_graph_file(path: Path, mmap: bool = False):
+    """Load a graph file for ``stats build --graph`` by suffix."""
+    suffixes = [s.lower() for s in path.suffixes]
+    if suffixes[-1:] == [".npz"]:
+        return load_npz(path, mmap=mmap)
+    if ".nt" in suffixes:
+        return load_ntriples(path)
+    return load_edge_list(path)
 
 
 def _build_workload(args: argparse.Namespace, graph) -> list | None:
@@ -432,7 +473,12 @@ def run_stats(argv: list[str]) -> int:
         )
         return 2
     try:
-        graph = load_dataset(args.dataset, args.scale)
+        if args.graph is not None:
+            graph = _load_graph_file(args.graph, mmap=args.mmap)
+            dataset_name = args.graph.name
+        else:
+            graph = load_dataset(args.dataset, args.scale)
+            dataset_name = args.dataset
     except ReproError as error:
         print(f"repro stats build: {error}", file=sys.stderr)
         return 2
@@ -443,14 +489,33 @@ def run_stats(argv: list[str]) -> int:
         cycle_seed=args.seed,
     )
     workload = _build_workload(args, graph)
-    store = build_statistics(
-        graph, config, workload=workload, dataset_name=args.dataset
-    )
+    try:
+        store = build_statistics(
+            graph,
+            config,
+            workload=workload,
+            dataset_name=dataset_name,
+            jobs=args.jobs,
+            checkpoint_dir=args.out,
+            resume=args.resume,
+            stop_after_level=args.stop_after_level,
+        )
+    except BuildInterrupted as event:
+        print(json.dumps({
+            "event": "build_interrupted",
+            "out": str(args.out),
+            "detail": str(event),
+            "resume_with": "--resume",
+        }, indent=2 if args.indent else None))
+        return 3
+    except ReproError as error:
+        print(f"repro stats build: {error}", file=sys.stderr)
+        return 2
     store.manifest.build_config["scale"] = args.scale
     store.save(args.out)
     summary = {
         "out": str(args.out),
-        "dataset": args.dataset,
+        "dataset": dataset_name,
         "mode": store.manifest.build_config.get("mode"),
         "complete": store.manifest.complete,
         "markov_entries": store.markov.num_entries,
@@ -460,6 +525,11 @@ def run_stats(argv: list[str]) -> int:
             if store.cycle_rates is not None else 0
         ),
         "build_seconds": store.manifest.build_config.get("build_seconds"),
+        "jobs": store.manifest.build_config.get("jobs"),
+        "levels": store.manifest.build_config.get("levels"),
+        "peak_level_width": store.manifest.build_config.get(
+            "peak_level_width"
+        ),
         "total_bytes": inspect_artifact(args.out)["total_bytes"],
     }
     print(json.dumps(summary, indent=2 if args.indent else None))

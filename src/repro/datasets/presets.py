@@ -22,6 +22,7 @@ from repro.graph.generators import generate_graph
 __all__ = [
     "DatasetSpec",
     "DATASETS",
+    "SYNTHETIC_DATASETS",
     "load_dataset",
     "dataset_table",
     "running_example_graph",
@@ -140,6 +141,30 @@ DATASETS: dict[str, DatasetSpec] = {
     ]
 }
 
+# Scale-exercise presets: not part of Table 2 (dataset_table skips them),
+# but loadable through load_dataset for the parallel-build benchmarks.
+# synth1m's moderate skews keep two-atom joins well under the default
+# 5M-row materialisation cap while the 1.2M edges stress ingest and the
+# level-parallel build.
+SYNTHETIC_DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            name="synth1m",
+            domain="Synthetic (scale)",
+            num_vertices=400_000,
+            num_edges=1_200_000,
+            num_labels=24,
+            degree_skew=0.6,
+            label_skew=0.4,
+            label_correlation=0.2,
+            closure=0.05,
+            seed=777,
+        ),
+    ]
+}
+
+
 def running_example_graph() -> LabeledDiGraph:
     """The paper's Figure-2-shaped running example (13 vertices, 5 labels).
 
@@ -179,11 +204,11 @@ def load_dataset(name: str, scale: float = 1.0) -> LabeledDiGraph:
             cached = running_example_graph()
             _CACHE[key] = cached
         return cached
-    spec = DATASETS.get(name)
+    spec = DATASETS.get(name) or SYNTHETIC_DATASETS.get(name)
     if spec is None:
         raise DatasetError(
             f"unknown dataset {name!r}; choose from "
-            f"{sorted(DATASETS) + [EXAMPLE_DATASET]}"
+            f"{sorted(DATASETS) + sorted(SYNTHETIC_DATASETS) + [EXAMPLE_DATASET]}"
         )
     key = (name, scale)
     cached = _CACHE.get(key)

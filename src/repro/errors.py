@@ -39,6 +39,15 @@ class DatasetError(ReproError):
     """A dataset file or preset is invalid."""
 
 
+class BuildInterrupted(ReproError):
+    """A statistics build stopped early with its checkpoint saved.
+
+    Raised by ``build_statistics(..., stop_after_level=k)`` after the
+    checkpoint for level ``k`` is durable; rerunning with ``resume=True``
+    picks up from that level instead of recounting.
+    """
+
+
 def check_format_version(payload: dict, expected: int, what: str) -> None:
     """Validate an artifact payload's ``format_version`` field.
 

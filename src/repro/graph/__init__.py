@@ -2,7 +2,13 @@
 
 from repro.graph.digraph import LabeledDiGraph, LabelRelation
 from repro.graph.generators import generate_graph, zipf_weights
-from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+from repro.graph.io import (
+    load_edge_list,
+    load_npz,
+    load_ntriples,
+    save_edge_list,
+    save_npz,
+)
 from repro.graph.vertex_labels import (
     add_vertex_labels,
     vertex_label_relation,
@@ -17,6 +23,7 @@ __all__ = [
     "zipf_weights",
     "load_edge_list",
     "load_npz",
+    "load_ntriples",
     "save_edge_list",
     "save_npz",
     "add_vertex_labels",

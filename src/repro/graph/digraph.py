@@ -61,6 +61,39 @@ class LabelRelation:
             dst_by_dst=dst[order_by_dst],
         )
 
+    @classmethod
+    def from_sorted(
+        cls,
+        label: str,
+        src_by_src: np.ndarray,
+        dst_by_src: np.ndarray,
+        src_by_dst: np.ndarray,
+        dst_by_dst: np.ndarray,
+    ) -> "LabelRelation":
+        """Adopt pre-sorted, pre-deduplicated views without copying.
+
+        The arrays are used as-is (e.g. read-only memory maps of an
+        ``.npz`` artifact), so the caller guarantees they came from a
+        :meth:`build`-constructed relation.  Cheap shape checks only —
+        no O(m) re-sort or dedup pass.
+        """
+        if not (
+            src_by_src.shape
+            == dst_by_src.shape
+            == src_by_dst.shape
+            == dst_by_dst.shape
+        ) or src_by_src.ndim != 1:
+            raise DatasetError(
+                f"label {label!r}: sorted views must be 1-d and equal length"
+            )
+        return cls(
+            label=label,
+            src_by_src=src_by_src,
+            dst_by_src=dst_by_src,
+            src_by_dst=src_by_dst,
+            dst_by_dst=dst_by_dst,
+        )
+
     @property
     def size(self) -> int:
         """Number of edges (tuples) in the relation."""
@@ -144,6 +177,38 @@ class LabeledDiGraph:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def from_relations(
+        cls,
+        num_vertices: int,
+        relations: Mapping[str, LabelRelation],
+    ) -> "LabeledDiGraph":
+        """Adopt already-built relations (e.g. memory-mapped) zero-copy.
+
+        Bound checks are O(1) per relation — the arrays are sorted, so
+        only the last element of each view needs inspecting.
+        """
+        if num_vertices <= 0:
+            raise DatasetError("graph needs at least one vertex")
+        graph = cls.__new__(cls)
+        graph._num_vertices = int(num_vertices)
+        graph._relations = {}
+        for label, relation in relations.items():
+            if relation.size == 0:
+                continue
+            upper = max(
+                int(relation.src_by_src[-1]), int(relation.dst_by_dst[-1])
+            )
+            if upper >= graph._num_vertices:
+                raise DatasetError(
+                    f"label {label!r} references vertex {upper} "
+                    f">= num_vertices={graph._num_vertices}"
+                )
+            graph._relations[str(label)] = relation
+        graph._csr_cache = {}
+        graph._csc_cache = {}
+        return graph
+
     @classmethod
     def from_triples(
         cls, triples: Iterable[tuple[int, int, str]], num_vertices: int | None = None

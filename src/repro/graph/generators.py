@@ -114,14 +114,14 @@ def generate_graph(
             )
         labels[correlated] = local
 
-    by_label: dict[str, tuple[list[int], list[int]]] = {}
-    for u, v, l in zip(src, dst, labels):
-        name = f"L{int(l)}"
-        bucket = by_label.setdefault(name, ([], []))
-        bucket[0].append(int(u))
-        bucket[1].append(int(v))
+    # Group edges by label with one argsort instead of a per-edge Python
+    # loop; within-label edge order is irrelevant (relations re-sort).
+    order = np.argsort(labels, kind="stable")
+    src, dst, labels = src[order], dst[order], labels[order]
+    present, starts = np.unique(labels, return_index=True)
+    bounds = np.append(starts, len(labels))
     arrays = {
-        name: (np.asarray(s, dtype=np.int64), np.asarray(d, dtype=np.int64))
-        for name, (s, d) in by_label.items()
+        f"L{int(label)}": (src[lo:hi], dst[lo:hi])
+        for label, lo, hi in zip(present, bounds[:-1], bounds[1:])
     }
     return LabeledDiGraph(num_vertices, arrays)

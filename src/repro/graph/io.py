@@ -1,51 +1,259 @@
-"""Load/save labeled graphs as tab-separated edge lists or ``.npz``."""
+"""Load/save labeled graphs: edge lists, N-Triples, and ``.npz``.
+
+Every text reader here is *streaming*: lines are parsed into bounded
+per-label numpy chunks (:class:`_EdgeChunks`) that are concatenated once
+at the end, so a multi-million-edge file never materialises a Python
+list of triples.  ``.gz`` paths are decompressed (and compressed on
+save) transparently.
+
+The ``.npz`` side has two layouts:
+
+* **compressed** (the default) — small on disk, arrays are decompressed
+  into fresh memory on load; and
+* **stored** (``compressed=False``) — the serving/build-plane layout:
+  members are ZIP-stored verbatim, *both* sorted views of every
+  relation are included, and :func:`load_npz` with ``mmap=True`` maps
+  each array straight out of the file (zero-copy: workers forked for a
+  parallel statistics build share the pages instead of one heap copy
+  each).
+"""
 
 from __future__ import annotations
 
+import gzip
+import zipfile
 from pathlib import Path
+from typing import IO, Iterable
 
 import numpy as np
+from numpy.lib import format as _npy_format
 
 from repro.errors import DatasetError
-from repro.graph.digraph import LabeledDiGraph
+from repro.graph.digraph import LabeledDiGraph, LabelRelation
 
-__all__ = ["save_edge_list", "load_edge_list", "save_npz", "load_npz"]
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "load_ntriples",
+    "save_npz",
+    "load_npz",
+]
+
+#: Edges buffered as Python ints before being flushed to numpy chunks.
+CHUNK_EDGES = 262_144
+
+#: Edges formatted per write() call by :func:`save_edge_list`.
+_WRITE_CHUNK = 65_536
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    """Open a text file, decompressing/compressing ``.gz`` transparently."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
+class _EdgeChunks:
+    """Bounded-memory accumulator of ``(src, dst)`` pairs per label.
+
+    ``add`` appends to small Python buffers; every :data:`CHUNK_EDGES`
+    edges the buffers are flushed to int64 numpy chunks (tracking the
+    running max vertex id per chunk, vectorised).  ``arrays`` performs
+    the single final concatenation per label.
+    """
+
+    def __init__(self, chunk_edges: int = CHUNK_EDGES):
+        self._chunk_edges = chunk_edges
+        self._pending: dict[str, tuple[list[int], list[int]]] = {}
+        self._pending_edges = 0
+        self._chunks: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self.max_vertex = -1
+        self.num_edges = 0
+
+    def add(self, src: int, dst: int, label: str) -> None:
+        bucket = self._pending.setdefault(label, ([], []))
+        bucket[0].append(src)
+        bucket[1].append(dst)
+        self._pending_edges += 1
+        self.num_edges += 1
+        if self._pending_edges >= self._chunk_edges:
+            self.flush()
+
+    def flush(self) -> None:
+        for label, (src, dst) in self._pending.items():
+            src_arr = np.asarray(src, dtype=np.int64)
+            dst_arr = np.asarray(dst, dtype=np.int64)
+            self.max_vertex = max(
+                self.max_vertex, int(src_arr.max()), int(dst_arr.max())
+            )
+            self._chunks.setdefault(label, []).append((src_arr, dst_arr))
+        self._pending.clear()
+        self._pending_edges = 0
+
+    def arrays(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        self.flush()
+        return {
+            label: (
+                np.concatenate([chunk[0] for chunk in chunks]),
+                np.concatenate([chunk[1] for chunk in chunks]),
+            )
+            for label, chunks in self._chunks.items()
+        }
 
 
 def save_edge_list(graph: LabeledDiGraph, path: str | Path) -> None:
-    """Write ``src<TAB>dst<TAB>label`` lines."""
+    """Write ``src<TAB>dst<TAB>label`` lines (gzipped for ``.gz`` paths).
+
+    Lines are batch-formatted label by label straight from the relation
+    arrays — :data:`_WRITE_CHUNK` edges joined into one string per
+    ``write`` call — instead of one ``write`` per edge.
+    """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         handle.write(f"# vertices={graph.num_vertices}\n")
-        for src, dst, label in graph.triples():
-            handle.write(f"{src}\t{dst}\t{label}\n")
+        for label in graph.labels:
+            relation = graph.relation(label)
+            src, dst = relation.src_by_src, relation.dst_by_src
+            for lo in range(0, relation.size, _WRITE_CHUNK):
+                block = zip(
+                    src[lo:lo + _WRITE_CHUNK].tolist(),
+                    dst[lo:lo + _WRITE_CHUNK].tolist(),
+                )
+                handle.write(
+                    "".join(f"{u}\t{v}\t{label}\n" for u, v in block)
+                )
 
 
 def load_edge_list(path: str | Path) -> LabeledDiGraph:
-    """Read the format written by :func:`save_edge_list`."""
+    """Stream the format written by :func:`save_edge_list`.
+
+    Malformed lines (wrong column count, non-integer src/dst) raise
+    :class:`DatasetError` naming ``path:line``.  ``.gz`` files are
+    decompressed transparently.
+    """
     path = Path(path)
     num_vertices: int | None = None
-    triples: list[tuple[int, int, str]] = []
-    with path.open("r", encoding="utf-8") as handle:
+    chunks = _EdgeChunks()
+    try:
+        handle = _open_text(path, "r")
+    except OSError as error:
+        raise DatasetError(f"{path}: {error}")
+    with handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             if line.startswith("#"):
                 if "vertices=" in line:
-                    num_vertices = int(line.split("vertices=", 1)[1])
+                    try:
+                        num_vertices = int(line.split("vertices=", 1)[1])
+                    except ValueError as error:
+                        raise DatasetError(
+                            f"{path}:{line_number}: invalid vertex count "
+                            f"({error})"
+                        )
                 continue
             parts = line.split("\t")
             if len(parts) != 3:
                 raise DatasetError(f"{path}:{line_number}: expected 3 columns")
-            triples.append((int(parts[0]), int(parts[1]), parts[2]))
-    if not triples:
+            try:
+                src, dst = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise DatasetError(
+                    f"{path}:{line_number}: src/dst must be integers, got "
+                    f"{parts[0]!r}/{parts[1]!r}"
+                )
+            chunks.add(src, dst, parts[2])
+    if chunks.num_edges == 0:
         raise DatasetError(f"{path}: no edges")
-    return LabeledDiGraph.from_triples(triples, num_vertices=num_vertices)
+    arrays = chunks.arrays()
+    if num_vertices is None:
+        num_vertices = chunks.max_vertex + 1
+    return LabeledDiGraph(num_vertices, arrays)
 
 
-def save_npz(graph: LabeledDiGraph, path: str | Path) -> None:
-    """Save in compressed numpy format (one src/dst pair per label)."""
+def _parse_nt_term(
+    body: str, path: Path, line_number: int
+) -> tuple[str, str]:
+    """Split one leading N-Triples term off ``body``; returns (term, rest)."""
+    if body.startswith("<"):
+        end = body.find(">")
+        if end < 0:
+            raise DatasetError(f"{path}:{line_number}: unterminated IRI")
+        return body[: end + 1], body[end + 1:].lstrip()
+    if body.startswith("_:"):
+        term = body.split(None, 1)
+        return term[0], (term[1] if len(term) > 1 else "").lstrip()
+    raise DatasetError(
+        f"{path}:{line_number}: expected an IRI or blank node, got "
+        f"{body[:30]!r}"
+    )
+
+
+def load_ntriples(
+    path: str | Path, return_terms: bool = False
+) -> LabeledDiGraph | tuple[LabeledDiGraph, list[str]]:
+    """Stream an N-Triples file into a labeled graph.
+
+    Subjects and objects (IRIs, blank nodes, or literals) are interned
+    to dense vertex ids in first-appearance order; predicates become
+    edge labels (IRI angle brackets stripped).  With ``return_terms``
+    the vertex-id → term list is returned alongside the graph.  ``.gz``
+    files are decompressed transparently; malformed lines raise
+    :class:`DatasetError` naming ``path:line``.
+    """
+    path = Path(path)
+    term_ids: dict[str, int] = {}
+    chunks = _EdgeChunks()
+
+    def intern(term: str) -> int:
+        vertex = term_ids.get(term)
+        if vertex is None:
+            vertex = len(term_ids)
+            term_ids[term] = vertex
+        return vertex
+
+    try:
+        handle = _open_text(path, "r")
+    except OSError as error:
+        raise DatasetError(f"{path}: {error}")
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not line.endswith("."):
+                raise DatasetError(
+                    f"{path}:{line_number}: statement does not end with '.'"
+                )
+            body = line[:-1].rstrip()
+            subject, body = _parse_nt_term(body, path, line_number)
+            predicate, body = _parse_nt_term(body, path, line_number)
+            if not body:
+                raise DatasetError(f"{path}:{line_number}: missing object")
+            obj = body  # IRI, blank node, or literal — interned verbatim
+            label = (
+                predicate[1:-1] if predicate.startswith("<") else predicate
+            )
+            chunks.add(intern(subject), intern(obj), label)
+    if chunks.num_edges == 0:
+        raise DatasetError(f"{path}: no triples")
+    graph = LabeledDiGraph(len(term_ids), chunks.arrays())
+    if return_terms:
+        return graph, list(term_ids)
+    return graph
+
+
+def save_npz(
+    graph: LabeledDiGraph, path: str | Path, compressed: bool = True
+) -> None:
+    """Save in numpy format (one src/dst pair per label).
+
+    ``compressed=False`` writes the mmap-servable layout: ZIP-stored
+    members plus the dst-sorted views (``srcd::``/``dstd::``) so
+    :func:`load_npz` with ``mmap=True`` rebuilds every relation
+    zero-copy.
+    """
     payload: dict[str, np.ndarray] = {
         "__num_vertices__": np.asarray([graph.num_vertices], dtype=np.int64)
     }
@@ -53,16 +261,137 @@ def save_npz(graph: LabeledDiGraph, path: str | Path) -> None:
         relation = graph.relation(label)
         payload[f"src::{label}"] = relation.src_by_src
         payload[f"dst::{label}"] = relation.dst_by_src
-    np.savez_compressed(Path(path), **payload)
+        if not compressed:
+            payload[f"srcd::{label}"] = relation.src_by_dst
+            payload[f"dstd::{label}"] = relation.dst_by_dst
+    if compressed:
+        np.savez_compressed(Path(path), **payload)
+    else:
+        np.savez(Path(path), **payload)
 
 
-def load_npz(path: str | Path) -> LabeledDiGraph:
-    """Load the format written by :func:`save_npz`."""
-    with np.load(Path(path)) as data:
-        num_vertices = int(data["__num_vertices__"][0])
-        by_label: dict[str, tuple[np.ndarray, np.ndarray]] = {}
-        for key in data.files:
-            if key.startswith("src::"):
-                label = key[len("src::"):]
-                by_label[label] = (data[key], data[f"dst::{label}"])
-    return LabeledDiGraph(num_vertices, by_label)
+def _mmap_npz_member(
+    path: Path, info: zipfile.ZipInfo, raw: IO[bytes]
+) -> np.ndarray:
+    """Memory-map one ``.npy`` member of a ZIP-stored ``.npz`` archive.
+
+    Uncompressed zip members are byte-verbatim ``.npy`` files at a known
+    offset, so the array data can be mapped directly from the archive.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise DatasetError(
+            f"{path}: member {info.filename!r} is compressed and cannot be "
+            "memory-mapped (save with save_npz(..., compressed=False))"
+        )
+    raw.seek(info.header_offset)
+    local = raw.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise DatasetError(f"{path}: corrupt zip local header")
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    data_offset = info.header_offset + 30 + name_len + extra_len
+    raw.seek(data_offset)
+    try:
+        version = _npy_format.read_magic(raw)
+        if version == (1, 0):
+            shape, fortran, dtype = _npy_format.read_array_header_1_0(raw)
+        elif version == (2, 0):
+            shape, fortran, dtype = _npy_format.read_array_header_2_0(raw)
+        else:
+            raise DatasetError(
+                f"{path}: unsupported .npy format version {version} in "
+                f"{info.filename!r}"
+            )
+    except ValueError as error:
+        raise DatasetError(f"{path}: corrupt member {info.filename!r}: {error}")
+    if fortran:
+        raise DatasetError(
+            f"{path}: Fortran-ordered member {info.filename!r} cannot be "
+            "memory-mapped"
+        )
+    if int(np.prod(shape)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(
+        path, dtype=dtype, mode="r", offset=raw.tell(), shape=shape, order="C"
+    )
+
+
+def _mmap_npz_arrays(path: Path) -> dict[str, np.ndarray]:
+    """Every array of a ZIP-stored ``.npz``, memory-mapped read-only."""
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        with zipfile.ZipFile(path) as archive, path.open("rb") as raw:
+            for info in archive.infolist():
+                name = info.filename
+                if not name.endswith(".npy"):
+                    continue
+                arrays[name[: -len(".npy")]] = _mmap_npz_member(
+                    path, info, raw
+                )
+    except (OSError, zipfile.BadZipFile) as error:
+        raise DatasetError(f"{path}: not a readable .npz archive: {error}")
+    return arrays
+
+
+def _labels_of(keys: Iterable[str]) -> list[str]:
+    return sorted(
+        key[len("src::"):] for key in keys if key.startswith("src::")
+    )
+
+
+def load_npz(path: str | Path, mmap: bool = False) -> LabeledDiGraph:
+    """Load the format written by :func:`save_npz`.
+
+    With ``mmap=True`` (ZIP-stored archives written with
+    ``compressed=False`` only) every relation array is a read-only
+    memory map of the file — the graph costs no heap copy, and arrays
+    are shared page-cache-backed across forked build workers.  Without
+    it, archives that carry the dst-sorted views still skip the
+    re-sort/dedup pass on load.
+    """
+    path = Path(path)
+    if mmap:
+        data: dict[str, np.ndarray] = _mmap_npz_arrays(path)
+        if "__num_vertices__" not in data:
+            raise DatasetError(f"{path}: missing __num_vertices__")
+        return _graph_from_npz_payload(path, data, require_views=True)
+    try:
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as error:
+        raise DatasetError(f"{path}: not a readable .npz archive: {error}")
+    if "__num_vertices__" not in data:
+        raise DatasetError(f"{path}: missing __num_vertices__")
+    return _graph_from_npz_payload(path, data, require_views=False)
+
+
+def _graph_from_npz_payload(
+    path: Path, data: dict[str, np.ndarray], require_views: bool
+) -> LabeledDiGraph:
+    num_vertices = int(data["__num_vertices__"][0])
+    labels = _labels_of(data)
+    has_views = all(f"srcd::{label}" in data for label in labels)
+    if require_views and not has_views:
+        raise DatasetError(
+            f"{path}: archive lacks the dst-sorted views required for "
+            "zero-copy loading (save with save_npz(..., compressed=False))"
+        )
+    if not has_views:
+        return LabeledDiGraph(
+            num_vertices,
+            {
+                label: (data[f"src::{label}"], data[f"dst::{label}"])
+                for label in labels
+            },
+        )
+    relations = {
+        label: LabelRelation.from_sorted(
+            label,
+            src_by_src=data[f"src::{label}"],
+            dst_by_src=data[f"dst::{label}"],
+            src_by_dst=data[f"srcd::{label}"],
+            dst_by_dst=data[f"dstd::{label}"],
+        )
+        for label in labels
+    }
+    return LabeledDiGraph.from_relations(num_vertices, relations)

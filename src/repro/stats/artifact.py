@@ -30,9 +30,12 @@ from repro.graph.digraph import LabeledDiGraph
 
 __all__ = [
     "STORE_FORMAT_VERSION",
+    "CHECKPOINT_FORMAT_VERSION",
     "MANIFEST_FILE",
     "CATALOG_FILES",
     "DELTAS_DIR",
+    "BUILD_STATE_DIR",
+    "CHECKPOINT_FILE",
     "delta_file_name",
     "StoreManifest",
     "dataset_fingerprint",
@@ -40,10 +43,20 @@ __all__ = [
 
 STORE_FORMAT_VERSION = 1
 
+#: Format of the mid-build resume checkpoint under BUILD_STATE_DIR.
+CHECKPOINT_FORMAT_VERSION = 1
+
 MANIFEST_FILE = "manifest.json"
 
 #: Subdirectory holding the versioned delta files of a dynamic artifact.
 DELTAS_DIR = "deltas"
+
+#: Subdirectory (under the build output dir) holding resume state of an
+#: in-progress bulk build; removed when the build completes.
+BUILD_STATE_DIR = "build_state"
+
+#: The per-level checkpoint file inside BUILD_STATE_DIR.
+CHECKPOINT_FILE = "checkpoint.json"
 
 
 def delta_file_name(generation: int) -> str:

@@ -5,25 +5,44 @@ on the request path.  The bulk builder inverts that (§6: statistics are
 computed offline and shipped to the optimizer):
 
 * **Full enumeration** (no workload): grow every connected pattern of up
-  to ``h`` atoms over the dataset's label set, level by level.  Each
-  level-``k`` pattern keeps its match table; level ``k+1`` is produced
-  by extending those tables with one more atom (candidate labels pruned
-  against the table's matched vertex sets), so a child's count is one
-  vectorised join instead of a from-scratch engine run, and every
-  canonical shape is counted exactly once.  Patterns with zero matches
-  are never stored or extended — supersets of an empty join are empty —
-  which is what lets a *complete* artifact answer misses with 0.
+  to ``h`` atoms over the dataset's label set, level by level.  Patterns
+  with zero matches are never stored or extended — supersets of an empty
+  join are empty — which is what lets a *complete* artifact answer
+  misses with 0.
 * **Workload-directed** (the paper's "we worked backwards from the
   queries"): enumerate the union of canonical connected subpatterns the
   estimator suite needs across all workload queries, and count each
   once.
 
+Both modes run through one **level-synchronous, sharded** coordinator:
+
+* Full enumeration is partitioned by *minimum label*.  Shard ``i`` owns
+  exactly the connected patterns whose smallest label is ``labels[i]``,
+  grown from that label's one-atom seeds with candidate labels
+  restricted to ``labels[i:]``.  Growth only ever adds atoms, so the
+  seed atom survives in every descendant and the min label is invariant
+  — shards never examine (let alone double-count) each other's
+  patterns.  Workload mode shards each pattern-size level into sorted
+  key chunks.
+* With ``jobs > 1`` the shards of a level run on a
+  ``ProcessPoolExecutor`` (forked workers share the graph's pages;
+  spawn falls back to pickling it once per worker).  Workers ship back
+  ``(canonical key, count, degree-relation payload)`` triples — nothing
+  process-specific — and the coordinator merges them in shard order.
+  Every stored value is keyed by canonical form and serialized under
+  canonical variable names (:meth:`StatRelation.canonical_from_table`,
+  the PR-5 discipline), and catalog artifacts sort on serialization, so
+  a parallel build's artifact is **byte-identical** to ``jobs=1``.
+* After every level the coordinator can persist a resume checkpoint
+  (``build_state/checkpoint.json`` under the build directory): a killed
+  build rerun with ``resume=True`` reloads all completed levels —
+  counts, degree payloads, per-shard frontiers — and continues instead
+  of recounting.
+
 Degree statistics for the MOLP catalog are extracted from the same
-match tables in bulk (:func:`~repro.catalog.degrees.all_degree_pairs`
-shares the distinct-``Y`` reduction across all ``X ⊆ Y``), cycle-closing
-rates and entropy weights are primed by building each workload query's
-CEG once, and the two baseline summaries (Characteristic Sets, SumRDF)
-are single whole-graph passes.
+match tables in bulk, cycle-closing rates and entropy weights are primed
+by building each workload query's CEG once, and the two baseline
+summaries (Characteristic Sets, SumRDF) are single whole-graph passes.
 
 Every stored number is produced by the same deterministic integer
 arithmetic the lazy path uses, so estimates served from a built (or
@@ -33,8 +52,14 @@ the property suite enforces this.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import multiprocessing
+import os
 import time
-from dataclasses import asdict, dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -55,12 +80,23 @@ from repro.engine.backtracking import two_core_edges
 from repro.engine.counter import count_pattern
 from repro.engine.frames import sorted_intersects
 from repro.engine.join import BindingTable, extend_by_edge, start_table
-from repro.errors import PlanningError, ReproError
+from repro.errors import (
+    BuildInterrupted,
+    DatasetError,
+    PlanningError,
+    ReproError,
+)
 from repro.graph.digraph import LabeledDiGraph
 from repro.query.canonical import canonical_key, canonical_pattern
 from repro.query.pattern import QueryEdge, QueryPattern
 from repro.query.shape import largest_cycle_length
-from repro.stats.artifact import StoreManifest, dataset_fingerprint
+from repro.stats.artifact import (
+    BUILD_STATE_DIR,
+    CHECKPOINT_FILE,
+    CHECKPOINT_FORMAT_VERSION,
+    StoreManifest,
+    dataset_fingerprint,
+)
 from repro.stats.store import StatisticsStore
 
 __all__ = [
@@ -100,7 +136,7 @@ class StatsBuildConfig:
 
 
 # ----------------------------------------------------------------------
-# Shared enumeration
+# Shared enumeration primitives
 # ----------------------------------------------------------------------
 
 def _fresh_name(variables: Iterable[str]) -> str:
@@ -109,6 +145,12 @@ def _fresh_name(variables: Iterable[str]) -> str:
     while f"f{index}" in taken:
         index += 1
     return f"f{index}"
+
+
+def _pattern_from_key(key: tuple) -> QueryPattern:
+    """The canonical pattern a canonical key denotes (a fixed point:
+    ``canonical_key(_pattern_from_key(k)) == k``)."""
+    return QueryPattern((f"v{s}", f"v{d}", label) for s, d, label in key)
 
 
 def _candidate_edges(
@@ -177,6 +219,453 @@ def _budgeted_count(
     return float(count_pattern(graph, pattern, budget=count_budget))
 
 
+def _unique_endpoint_sets(
+    graph: LabeledDiGraph, labels: tuple[str, ...]
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """Matched-vertex sets per label for candidate pruning (cached on the
+    graph — workers reuse them across every level of their shard)."""
+    cache = getattr(graph, "_stats_unique_cache", None)
+    if cache is None:
+        cache = {}
+        graph._stats_unique_cache = cache
+    unique_src: dict[str, np.ndarray] = {}
+    unique_dst: dict[str, np.ndarray] = {}
+    for label in labels:
+        cached = cache.get(label)
+        if cached is None:
+            relation = graph.relation(label)
+            cached = (
+                np.unique(relation.src_by_src),
+                np.unique(relation.dst_by_src),
+            )
+            cache[label] = cached
+        unique_src[label], unique_dst[label] = cached
+    return unique_src, unique_dst
+
+
+# ----------------------------------------------------------------------
+# Level tasks (run inline for jobs=1, in pool workers otherwise)
+# ----------------------------------------------------------------------
+
+#: ``(graph, config)`` of the build in progress.  Set in the parent
+#: before the pool exists: forked workers inherit it copy-on-write;
+#: spawned workers get it re-set by the pool initializer.
+_WORKER_CONTEXT: tuple[LabeledDiGraph, StatsBuildConfig] | None = None
+
+
+def _set_worker_context(
+    graph: LabeledDiGraph, config: StatsBuildConfig
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (graph, config)
+
+
+@dataclass
+class _TaskResult:
+    """One shard-level task's contribution, in deterministic order.
+
+    Degree relations travel as ``StatRelation.to_artifact()`` payloads —
+    plain JSON-able dicts — so results are identical whether they
+    crossed a process boundary, came off a resume checkpoint, or were
+    produced inline.
+    """
+
+    records: list[tuple[tuple, float]] = field(default_factory=list)
+    degree_payloads: list[tuple[tuple, dict]] = field(default_factory=list)
+    frontier: list[tuple] = field(default_factory=list)
+    examined: int = 0
+    markov_complete: bool = True
+    degrees_complete: bool = True
+
+
+def _record_pattern(
+    graph: LabeledDiGraph,
+    config: StatsBuildConfig,
+    pattern: QueryPattern,
+    key: tuple,
+    table: BindingTable | None,
+    result: _TaskResult,
+    store_zeros: bool,
+) -> float | None:
+    """Count one pattern, store its statistics into ``result``.
+
+    Returns the count (``None`` when counting itself failed)."""
+    try:
+        count = _budgeted_count(graph, pattern, table, config.count_budget)
+    except ReproError:
+        # Unknown count: neither artifact can claim completeness.
+        result.markov_complete = False
+        result.degrees_complete = False
+        return None
+    if count == 0.0 and not store_zeros:
+        return 0.0
+    result.records.append((key, count))
+    if len(pattern) <= config.molp_h:
+        if table is not None:
+            # Stored under canonical variable names so the artifact
+            # bytes are independent of the growth path that produced
+            # the table (the incremental maintainer's recomputed
+            # relations must land on identical serializations).
+            result.degree_payloads.append((
+                key,
+                StatRelation.canonical_from_table(
+                    pattern, table, graph.num_vertices
+                ).to_artifact(),
+            ))
+        else:
+            # The match table overflowed max_rows: the count is known
+            # but no degrees were extracted, so a graph-free catalog
+            # must not serve this pattern's miss as "empty".
+            result.degrees_complete = False
+    return count
+
+
+def _full_shard_task(
+    graph: LabeledDiGraph,
+    config: StatsBuildConfig,
+    shard_index: int,
+    frontier: tuple[tuple, ...] | None,
+) -> _TaskResult:
+    """One ``(shard, level)`` step of full enumeration.
+
+    ``frontier is None`` seeds level 1 (the shard label's two one-atom
+    canonical patterns); otherwise each frontier pattern's match table
+    is re-materialised (deterministic spanning-tree recipe) and extended
+    by one atom over the shard's allowed labels.
+    """
+    labels = graph.labels
+    shard_labels = labels[shard_index:]
+    result = _TaskResult()
+    seen: set[tuple] = set()
+
+    if frontier is None:
+        label = labels[shard_index]
+        for pattern in (
+            QueryPattern([("v0", "v1", label)]),
+            QueryPattern([("v0", "v0", label)]),
+        ):
+            key = canonical_key(pattern)
+            if key in seen:
+                continue
+            seen.add(key)
+            table = start_table(graph, pattern.edges[0])
+            if _record_pattern(
+                graph, config, pattern, key, table, result, store_zeros=False
+            ):
+                result.frontier.append(key)
+        result.examined = len(seen)
+        return result
+
+    unique_src, unique_dst = _unique_endpoint_sets(graph, shard_labels)
+    for parent_key in frontier:
+        pattern = _pattern_from_key(parent_key)
+        try:
+            table = materialise_table(graph, pattern, config.max_rows)
+        except PlanningError:
+            table = None  # too big: prune nothing, count via the engine
+        for edge in _candidate_edges(
+            pattern, table, shard_labels, unique_src, unique_dst
+        ):
+            child = QueryPattern(pattern.edges + (edge,))
+            key = canonical_key(child)
+            if key in seen:
+                continue
+            seen.add(key)
+            child_table: BindingTable | None = None
+            if table is not None:
+                try:
+                    child_table = extend_by_edge(
+                        graph, table, edge, max_rows=config.max_rows
+                    )
+                except PlanningError:
+                    child_table = None
+            if _record_pattern(
+                graph, config, child, key, child_table, result,
+                store_zeros=False,
+            ):
+                result.frontier.append(key)
+    result.examined = len(seen)
+    return result
+
+
+def _workload_chunk_task(
+    graph: LabeledDiGraph,
+    config: StatsBuildConfig,
+    keys: tuple[tuple, ...],
+) -> _TaskResult:
+    """Count one sorted chunk of needed canonical keys (workload mode).
+
+    Zero counts are stored explicitly — workload artifacts are not
+    complete, so a covered-but-empty pattern must not raise
+    ``MissingStatisticError`` at serve time.
+    """
+    result = _TaskResult()
+    for key in keys:
+        pattern = _pattern_from_key(key)
+        table: BindingTable | None = None
+        if len(pattern) <= config.molp_h:
+            try:
+                table = materialise_table(graph, pattern, config.max_rows)
+            except PlanningError:
+                table = None
+        _record_pattern(
+            graph, config, pattern, key, table, result, store_zeros=True
+        )
+    result.examined = len(keys)
+    # Workload-directed artifacts never claim completeness.
+    result.markov_complete = False
+    result.degrees_complete = False
+    return result
+
+
+def _run_build_task(task: tuple) -> _TaskResult:
+    """Pool entry point: dispatch one task against the worker context."""
+    assert _WORKER_CONTEXT is not None, "worker context not initialised"
+    graph, config = _WORKER_CONTEXT
+    kind = task[0]
+    if kind == "seed":
+        return _full_shard_task(graph, config, task[1], None)
+    if kind == "grow":
+        return _full_shard_task(graph, config, task[1], task[2])
+    if kind == "count":
+        return _workload_chunk_task(graph, config, task[1])
+    raise AssertionError(f"unknown build task kind {kind!r}")
+
+
+class _TaskRunner:
+    """Runs level tasks inline (``jobs=1``) or on a process pool.
+
+    Fork start method is preferred: workers inherit the parent's graph
+    (and its mmap-backed arrays) copy-on-write via the module-level
+    context, so nothing is pickled per task beyond canonical keys.
+    Where fork is unavailable the pool falls back to spawn and ships
+    ``(graph, config)`` once per worker through the initializer.
+    """
+
+    def __init__(
+        self, graph: LabeledDiGraph, config: StatsBuildConfig, jobs: int
+    ):
+        self.jobs = max(1, int(jobs))
+        self._executor: ProcessPoolExecutor | None = None
+        _set_worker_context(graph, config)
+        if self.jobs > 1:
+            try:
+                context = multiprocessing.get_context("fork")
+                initargs: tuple = ()
+                initializer = None
+            except ValueError:
+                context = multiprocessing.get_context("spawn")
+                initializer = _set_worker_context
+                initargs = (graph, config)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=initializer,
+                initargs=initargs,
+            )
+
+    def run(self, tasks: Sequence[tuple]) -> list[_TaskResult]:
+        """All task results, in task order."""
+        if self._executor is None or len(tasks) <= 1:
+            return [_run_build_task(task) for task in tasks]
+        return list(self._executor.map(_run_build_task, tasks))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+# ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+
+def _key_to_json(key: tuple) -> list:
+    return [[s, d, label] for s, d, label in key]
+
+
+def _key_from_json(payload: list) -> tuple:
+    return tuple((int(s), int(d), str(label)) for s, d, label in payload)
+
+
+@dataclass
+class _BuildState:
+    """Everything accumulated across completed levels of one build."""
+
+    counts: dict[tuple, float] = field(default_factory=dict)
+    degree_payloads: dict[tuple, dict] = field(default_factory=dict)
+    frontiers: list[list[tuple]] = field(default_factory=list)
+    completed_levels: list[int] = field(default_factory=list)
+    level_stats: list[dict] = field(default_factory=list)
+    examined: int = 0
+    markov_complete: bool = True
+    degrees_complete: bool = True
+
+    def merge_level(
+        self,
+        level: int,
+        results: Sequence[_TaskResult],
+        seconds: float,
+        jobs: int,
+        frontier_by_shard: list[list[tuple]] | None,
+    ) -> None:
+        stored = 0
+        examined = 0
+        for result in results:
+            for key, count in result.records:
+                self.counts[key] = count
+                stored += 1
+            for key, payload in result.degree_payloads:
+                self.degree_payloads[key] = payload
+            examined += result.examined
+            self.markov_complete &= result.markov_complete
+            self.degrees_complete &= result.degrees_complete
+        self.examined += examined
+        if frontier_by_shard is not None:
+            self.frontiers = frontier_by_shard
+        self.completed_levels.append(level)
+        self.level_stats.append({
+            "level": level,
+            "seconds": round(seconds, 6),
+            "examined": examined,
+            "stored": stored,
+            "frontier": sum(len(f) for f in self.frontiers),
+            "jobs": jobs,
+            "resumed": False,
+        })
+
+    def to_enumeration(self) -> "_Enumeration":
+        return _Enumeration(
+            counts=self.counts,
+            degree_relations={
+                key: StatRelation.from_artifact(payload)
+                for key, payload in self.degree_payloads.items()
+            },
+            enumerated=self.examined,
+            markov_complete=self.markov_complete,
+            degrees_complete=self.degrees_complete,
+        )
+
+
+class _BuildCheckpoint:
+    """Durable per-level resume state under ``<dir>/build_state/``.
+
+    The checkpoint is one JSON document written atomically (tmp +
+    rename), keyed by dataset fingerprint, build config, and mode — a
+    resume against a different graph or configuration is refused rather
+    than silently merged.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fingerprint: str,
+        config: StatsBuildConfig,
+        mode: str,
+        scope_digest: str,
+    ):
+        self.directory = Path(directory) / BUILD_STATE_DIR
+        self.path = self.directory / CHECKPOINT_FILE
+        self.fingerprint = fingerprint
+        self.config_dict = config.as_dict()
+        self.mode = mode
+        self.scope_digest = scope_digest
+
+    def save(self, state: _BuildState) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "kind": "build_checkpoint",
+            "mode": self.mode,
+            "dataset_fingerprint": self.fingerprint,
+            "config": self.config_dict,
+            "scope_digest": self.scope_digest,
+            "completed_levels": state.completed_levels,
+            "examined": state.examined,
+            "markov_complete": state.markov_complete,
+            "degrees_complete": state.degrees_complete,
+            "counts": [
+                [_key_to_json(key), count]
+                for key, count in sorted(state.counts.items())
+            ],
+            "degrees": [
+                [_key_to_json(key), payload]
+                for key, payload in sorted(state.degree_payloads.items())
+            ],
+            "frontiers": [
+                [_key_to_json(key) for key in frontier]
+                for frontier in state.frontiers
+            ],
+            "level_stats": state.level_stats,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    def load(self) -> _BuildState | None:
+        """The checkpointed state, or ``None`` when there is none."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except OSError:
+            return None
+        except ValueError as error:
+            raise DatasetError(f"corrupt build checkpoint {self.path}: {error}")
+        if payload.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise DatasetError(
+                f"{self.path}: unsupported checkpoint format "
+                f"{payload.get('format_version')!r}"
+            )
+        for name, expected, actual in (
+            ("dataset", self.fingerprint, payload.get("dataset_fingerprint")),
+            ("mode", self.mode, payload.get("mode")),
+            ("config", self.config_dict, payload.get("config")),
+            ("scope", self.scope_digest, payload.get("scope_digest")),
+        ):
+            if actual != expected:
+                raise DatasetError(
+                    f"{self.path}: checkpoint {name} mismatch — it was "
+                    f"written by a different build (delete "
+                    f"{self.directory} or drop --resume)"
+                )
+        level_stats = [dict(entry) for entry in payload["level_stats"]]
+        for entry in level_stats:
+            entry["resumed"] = True
+        return _BuildState(
+            counts={
+                _key_from_json(key): float(count)
+                for key, count in payload["counts"]
+            },
+            degree_payloads={
+                _key_from_json(key): dict(body)
+                for key, body in payload["degrees"]
+            },
+            frontiers=[
+                [_key_from_json(key) for key in frontier]
+                for frontier in payload["frontiers"]
+            ],
+            completed_levels=[int(v) for v in payload["completed_levels"]],
+            level_stats=level_stats,
+            examined=int(payload["examined"]),
+            markov_complete=bool(payload["markov_complete"]),
+            degrees_complete=bool(payload["degrees_complete"]),
+        )
+
+    def clear(self) -> None:
+        """Remove the checkpoint after a successful build."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        try:
+            self.directory.rmdir()
+        except OSError:
+            pass  # leftover files (or never created): leave the dir
+
+
+# ----------------------------------------------------------------------
+# Leveled coordinators
+# ----------------------------------------------------------------------
+
 @dataclass
 class _Enumeration:
     """What one enumeration pass produced.
@@ -196,100 +685,88 @@ class _Enumeration:
     degrees_complete: bool
 
 
-def _enumerate_full(
-    graph: LabeledDiGraph, config: StatsBuildConfig
-) -> _Enumeration:
-    """Grow all non-empty connected patterns up to ``max(h, molp_h)``."""
+def _load_or_fresh_state(
+    checkpoint: _BuildCheckpoint | None,
+    resume: bool,
+    num_shards: int,
+) -> _BuildState:
+    if checkpoint is not None and resume:
+        state = checkpoint.load()
+        if state is not None:
+            return state
+    state = _BuildState()
+    state.frontiers = [[] for _ in range(num_shards)]
+    return state
+
+
+def _maybe_stop(
+    checkpoint: _BuildCheckpoint | None,
+    stop_after_level: int | None,
+    level: int,
+) -> None:
+    if stop_after_level is not None and level >= stop_after_level:
+        raise BuildInterrupted(
+            f"build stopped after level {level} (checkpoint at "
+            f"{checkpoint.path})"  # type: ignore[union-attr]
+        )
+
+
+def _enumerate_full_leveled(
+    graph: LabeledDiGraph,
+    config: StatsBuildConfig,
+    runner: _TaskRunner,
+    checkpoint: _BuildCheckpoint | None,
+    resume: bool,
+    stop_after_level: int | None,
+) -> tuple[_Enumeration, list[dict]]:
+    """Grow all non-empty connected patterns up to ``max(h, molp_h)``,
+    one min-label shard per task, level-synchronously."""
     h_enum = max(config.h, config.molp_h)
     labels = graph.labels
-    unique_src = {
-        label: np.unique(graph.relation(label).src_by_src) for label in labels
-    }
-    unique_dst = {
-        label: np.unique(graph.relation(label).dst_by_src) for label in labels
-    }
-    counts: dict[tuple, float] = {}
-    degree_relations: dict[tuple, StatRelation] = {}
-    seen: set[tuple] = set()
-    markov_complete = True
-    degrees_complete = True
-    level: list[tuple[QueryPattern, BindingTable | None]] = []
-
-    def record(
-        pattern: QueryPattern, key: tuple, table: BindingTable | None
-    ) -> float | None:
-        """Count (from the table when available), store, return count."""
-        nonlocal markov_complete, degrees_complete
-        try:
-            count = _budgeted_count(graph, pattern, table, config.count_budget)
-        except ReproError:
-            # Unknown count: neither artifact can claim completeness.
-            markov_complete = False
-            degrees_complete = False
-            return None
-        if count == 0.0:
-            return 0.0
-        counts[key] = count
-        if len(pattern) <= config.molp_h:
-            if table is not None:
-                # Stored under canonical variable names so the artifact
-                # bytes are independent of the growth path that produced
-                # the table (the incremental maintainer's recomputed
-                # relations must land on identical serializations).
-                degree_relations[key] = StatRelation.canonical_from_table(
-                    pattern, table, graph.num_vertices
-                )
-            else:
-                # The match table overflowed max_rows: the count is known
-                # but no degrees were extracted, so a graph-free catalog
-                # must not serve this pattern's miss as "empty".
-                degrees_complete = False
-        return count
-
-    for label in labels:
-        for pattern in (
-            QueryPattern([("v0", "v1", label)]),
-            QueryPattern([("v0", "v0", label)]),
-        ):
-            key = canonical_key(pattern)
-            if key in seen:
-                continue
-            seen.add(key)
-            table = start_table(graph, pattern.edges[0])
-            if record(pattern, key, table):
-                level.append((pattern, table))
-
-    size = 1
-    while size < h_enum and level:
-        next_level: list[tuple[QueryPattern, BindingTable | None]] = []
-        for pattern, table in level:
-            for edge in _candidate_edges(
-                pattern, table, labels, unique_src, unique_dst
-            ):
-                child = QueryPattern(pattern.edges + (edge,))
-                key = canonical_key(child)
-                if key in seen:
-                    continue
-                seen.add(key)
-                child_table: BindingTable | None = None
-                if table is not None:
-                    try:
-                        child_table = extend_by_edge(
-                            graph, table, edge, max_rows=config.max_rows
-                        )
-                    except PlanningError:
-                        child_table = None  # too big: count via the engine
-                if record(child, key, child_table):
-                    next_level.append((child, child_table))
-        level = next_level
-        size += 1
-    return _Enumeration(
-        counts=counts,
-        degree_relations=degree_relations,
-        enumerated=len(seen),
-        markov_complete=markov_complete,
-        degrees_complete=degrees_complete,
+    state = _load_or_fresh_state(checkpoint, resume, len(labels))
+    start_level = (
+        max(state.completed_levels) if state.completed_levels else 0
     )
+    for level in range(start_level + 1, h_enum + 1):
+        if level > 1 and not any(state.frontiers):
+            break  # every extension of the last level was empty
+        began = time.perf_counter()
+        if level == 1:
+            tasks = [("seed", shard) for shard in range(len(labels))]
+            shards = list(range(len(labels)))
+        else:
+            shards = [
+                shard
+                for shard in range(len(labels))
+                if state.frontiers[shard]
+            ]
+            tasks = [
+                ("grow", shard, tuple(state.frontiers[shard]))
+                for shard in shards
+            ]
+        results = runner.run(tasks)
+        frontier_by_shard: list[list[tuple]] = [[] for _ in labels]
+        for shard, result in zip(shards, results):
+            frontier_by_shard[shard] = result.frontier
+        state.merge_level(
+            level,
+            results,
+            seconds=time.perf_counter() - began,
+            jobs=runner.jobs,
+            frontier_by_shard=frontier_by_shard,
+        )
+        if checkpoint is not None:
+            checkpoint.save(state)
+        _maybe_stop(checkpoint, stop_after_level, level)
+    return state.to_enumeration(), state.level_stats
+
+
+def _workload_scope_digest(keys: Iterable[tuple]) -> str:
+    """Content hash of the needed-key set, pinning a checkpoint to it."""
+    digest = hashlib.sha256()
+    for key in sorted(keys):
+        digest.update(json.dumps(_key_to_json(key)).encode("utf-8"))
+    return digest.hexdigest()[:20]
 
 
 def _needed_subpatterns(
@@ -306,45 +783,73 @@ def _needed_subpatterns(
     return needed
 
 
+def _enumerate_workload_leveled(
+    graph: LabeledDiGraph,
+    workload: Sequence[QueryPattern],
+    config: StatsBuildConfig,
+    runner: _TaskRunner,
+    checkpoint: _BuildCheckpoint | None,
+    resume: bool,
+    stop_after_level: int | None,
+    skip: set[tuple] | None = None,
+) -> tuple[_Enumeration, list[dict]]:
+    """Count each canonical subpattern the workload needs, exactly once,
+    level = pattern size, each level sharded into sorted key chunks."""
+    h_enum = max(config.h, config.molp_h)
+    needed = _needed_subpatterns(workload, h_enum)
+    keys = sorted(
+        key for key in needed if skip is None or key not in skip
+    )
+    by_size: dict[int, list[tuple]] = {}
+    for key in keys:
+        by_size.setdefault(len(key), []).append(key)
+    state = _load_or_fresh_state(checkpoint, resume, 0)
+    done = set(state.completed_levels)
+    for size in sorted(by_size):
+        if size in done:
+            continue
+        began = time.perf_counter()
+        level_keys = by_size[size]
+        chunk_count = min(len(level_keys), max(1, runner.jobs * 2))
+        chunks = [
+            tuple(level_keys[i::chunk_count]) for i in range(chunk_count)
+        ]
+        results = runner.run([("count", chunk) for chunk in chunks])
+        state.merge_level(
+            size,
+            results,
+            seconds=time.perf_counter() - began,
+            jobs=runner.jobs,
+            frontier_by_shard=None,
+        )
+        if checkpoint is not None:
+            checkpoint.save(state)
+        _maybe_stop(checkpoint, stop_after_level, size)
+    enumeration, level_stats = state.to_enumeration(), state.level_stats
+    # The workload defines scope, not the stored hit set: misses are
+    # not provably empty, and `enumerated` reports the needed set.
+    enumeration.markov_complete = False
+    enumeration.degrees_complete = False
+    enumeration.enumerated = len(needed)
+    return enumeration, level_stats
+
+
 def _enumerate_workload(
     graph: LabeledDiGraph,
     workload: Sequence[QueryPattern],
     config: StatsBuildConfig,
     skip: set[tuple] | None = None,
 ) -> _Enumeration:
-    """Count each canonical subpattern the workload needs, exactly once."""
-    h_enum = max(config.h, config.molp_h)
-    needed = _needed_subpatterns(workload, h_enum)
-    counts: dict[tuple, float] = {}
-    degree_relations: dict[tuple, StatRelation] = {}
-    for key, pattern in needed.items():
-        if skip is not None and key in skip:
-            continue
-        table: BindingTable | None = None
-        if len(pattern) <= config.molp_h:
-            try:
-                table = materialise_table(graph, pattern, config.max_rows)
-            except PlanningError:
-                table = None
-        try:
-            count = _budgeted_count(graph, pattern, table, config.count_budget)
-        except ReproError:
-            continue
-        # Workload-directed artifacts are not complete, so zero counts
-        # are stored explicitly — a covered-but-empty pattern must not
-        # raise MissingStatisticError at serve time.
-        counts[key] = count
-        if table is not None and len(pattern) <= config.molp_h:
-            degree_relations[key] = StatRelation.canonical_from_table(
-                pattern, table, graph.num_vertices
-            )
-    return _Enumeration(
-        counts=counts,
-        degree_relations=degree_relations,
-        enumerated=len(needed),
-        markov_complete=False,
-        degrees_complete=False,
-    )
+    """Serial convenience wrapper used by :func:`extend_statistics`."""
+    runner = _TaskRunner(graph, config, jobs=1)
+    try:
+        enumeration, _ = _enumerate_workload_leveled(
+            graph, workload, config, runner,
+            checkpoint=None, resume=False, stop_after_level=None, skip=skip,
+        )
+    finally:
+        runner.close()
+    return enumeration
 
 
 # ----------------------------------------------------------------------
@@ -396,6 +901,11 @@ def build_statistics(
     config: StatsBuildConfig | None = None,
     workload: Sequence[QueryPattern] | None = None,
     dataset_name: str = "",
+    *,
+    jobs: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    stop_after_level: int | None = None,
 ) -> StatisticsStore:
     """Bulk-build a :class:`StatisticsStore` for ``graph``.
 
@@ -403,13 +913,51 @@ def build_statistics(
     up to ``max(h, molp_h)`` atoms over the label set (a *complete*
     artifact: misses are provably empty); with one it builds exactly the
     statistics the workload's queries can touch (the paper's §6 setup).
+
+    ``jobs`` fans each enumeration level out across worker processes;
+    the artifact is byte-identical for every jobs value.  With a
+    ``checkpoint_dir`` the coordinator persists a resume checkpoint
+    after every level: a killed build rerun with ``resume=True``
+    continues from the last completed level.  ``stop_after_level``
+    (requires a checkpoint) raises :class:`BuildInterrupted` once that
+    level's checkpoint is durable — the hook the interruption tests and
+    the CI resume smoke use in place of ``kill -9``.
     """
     config = config or StatsBuildConfig()
     started = time.perf_counter()
-    if workload is None:
-        enumeration = _enumerate_full(graph, config)
-    else:
-        enumeration = _enumerate_workload(graph, workload, config)
+    if stop_after_level is not None and checkpoint_dir is None:
+        raise DatasetError("stop_after_level requires a checkpoint_dir")
+    mode = "full" if workload is None else "workload"
+    checkpoint: _BuildCheckpoint | None = None
+    if checkpoint_dir is not None:
+        scope = ""
+        if workload is not None:
+            h_enum = max(config.h, config.molp_h)
+            scope = _workload_scope_digest(
+                _needed_subpatterns(workload, h_enum)
+            )
+        checkpoint = _BuildCheckpoint(
+            checkpoint_dir,
+            fingerprint=dataset_fingerprint(graph),
+            config=config,
+            mode=mode,
+            scope_digest=scope,
+        )
+    runner = _TaskRunner(graph, config, jobs)
+    try:
+        if workload is None:
+            enumeration, level_stats = _enumerate_full_leveled(
+                graph, config, runner, checkpoint, resume, stop_after_level
+            )
+        else:
+            enumeration, level_stats = _enumerate_workload_leveled(
+                graph, workload, config, runner, checkpoint, resume,
+                stop_after_level,
+            )
+    finally:
+        runner.close()
+    if checkpoint is not None:
+        checkpoint.clear()
 
     markov = MarkovTable(
         graph,
@@ -459,9 +1007,14 @@ def build_statistics(
         complete=enumeration.markov_complete and enumeration.degrees_complete,
         build_config=dict(
             config.as_dict(),
-            mode="full" if workload is None else "workload",
+            mode=mode,
             enumerated_patterns=enumeration.enumerated,
             build_seconds=round(time.perf_counter() - started, 6),
+            jobs=max(1, int(jobs)),
+            levels=level_stats,
+            peak_level_width=max(
+                (entry["stored"] for entry in level_stats), default=0
+            ),
         ),
     )
     return StatisticsStore(

@@ -317,6 +317,22 @@ def inspect_artifact(directory: str | Path) -> dict:
     report["total_bytes"] = total
     report["total_human"] = human_bytes(total)
     report["sub_mb"] = total < 1_000_000
+    build_config = manifest.build_config
+    if "levels" in build_config:
+        # Per-level timings the bulk builder recorded (jobs, examined /
+        # stored pattern counts, resume provenance) — the operator's
+        # view of how the offline build spent its time.
+        report["build"] = {
+            "jobs": build_config.get("jobs"),
+            "build_seconds": build_config.get("build_seconds"),
+            "peak_level_width": build_config.get("peak_level_width"),
+            "levels": build_config.get("levels"),
+            "resumed_levels": sum(
+                1
+                for level in build_config.get("levels", [])
+                if level.get("resumed")
+            ),
+        }
     return report
 
 
