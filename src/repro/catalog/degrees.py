@@ -374,6 +374,10 @@ class DegreeCatalog:
         self.max_rows = max_rows
         self.complete = complete
         self._cache: dict[tuple, StatRelation] = {}
+        # Optional lazy array backing (repro.stats.flatpack.FlatDegrees):
+        # cache misses binary-search it before the lazy/complete paths,
+        # and materialize() must fold it into _cache before any mutation.
+        self._flat = None
 
     def relation_for(self, pattern: QueryPattern) -> StatRelation:
         """The StatRelation of a (connected, ≤ h atoms) subpattern."""
@@ -383,6 +387,15 @@ class DegreeCatalog:
             )
         key = canonical_key(pattern)
         cached = self._cache.get(key)
+        if cached is None:
+            flat = self._flat
+            if flat is not None:
+                cached = flat.lookup(key)
+                if cached is not None:
+                    # Memoise the decoded relation so repeat lookups (and
+                    # the renamed-view path below) behave exactly as if it
+                    # had been loaded eagerly.
+                    self._cache[key] = cached
         if cached is None:
             if self.graph is None:
                 if self.complete:
@@ -449,9 +462,28 @@ class DegreeCatalog:
             result.append(self.relation_for(query.subpattern(subset)))
         return result
 
+    def materialize(self) -> None:
+        """Decode any flat array backing into the ordinary relation dict.
+
+        Mandatory before mutating ``_cache`` (delta replay, maintenance,
+        re-serialisation); idempotent and cheap when the catalog has no
+        flat backing.
+        """
+        flat = self._flat
+        if flat is None:
+            return
+        for key, relation in flat.items():
+            self._cache.setdefault(key, relation)
+        self._flat = None
+
     @property
     def num_entries(self) -> int:
-        """Number of cached canonical relations."""
+        """Number of canonical relations stored (flat backing included)."""
+        if self._flat is not None:
+            extras = sum(
+                1 for key in self._cache if self._flat.index.find(key) is None
+            )
+            return self._flat.count + extras
         return len(self._cache)
 
     # ------------------------------------------------------------------
@@ -459,6 +491,7 @@ class DegreeCatalog:
     # ------------------------------------------------------------------
     def to_artifact(self) -> dict:
         """JSON-serialisable snapshot of every cached relation."""
+        self.materialize()
         return {
             "format_version": DEGREES_FORMAT_VERSION,
             "kind": "degrees",

@@ -79,6 +79,10 @@ class MarkovTable:
         self.labels = tuple(labels) if labels is not None else None
         self.complete = complete
         self._cache: dict[tuple, float] = {}
+        # Optional lazy array backing (repro.stats.flatpack.FlatMarkov):
+        # cache misses binary-search it before falling back to _on_miss,
+        # and materialize() must fold it into _cache before any mutation.
+        self._flat = None
 
     def contains(self, pattern: QueryPattern) -> bool:
         """Whether the table covers this pattern (size and connectivity)."""
@@ -99,9 +103,28 @@ class MarkovTable:
         key = canonical_key(pattern)
         cached = self._cache.get(key)
         if cached is None:
-            cached = self._on_miss(pattern)
+            flat = self._flat
+            if flat is not None:
+                cached = flat.lookup(key)
+            if cached is None:
+                cached = self._on_miss(pattern)
             self._cache[key] = cached
         return cached
+
+    def materialize(self) -> None:
+        """Decode any flat array backing into the ordinary entry dict.
+
+        Mandatory before mutating ``_cache`` (delta replay, maintenance,
+        re-serialisation): flat-backed entries are otherwise still
+        visible behind a ``pop``/``del``.  Idempotent and cheap when the
+        table has no flat backing.
+        """
+        flat = self._flat
+        if flat is None:
+            return
+        for key, value in flat.items():
+            self._cache.setdefault(key, value)
+        self._flat = None
 
     def _on_miss(self, pattern: QueryPattern) -> float:
         if self.graph is not None:
@@ -130,7 +153,12 @@ class MarkovTable:
 
     @property
     def num_entries(self) -> int:
-        """Number of distinct patterns materialised so far."""
+        """Number of distinct patterns stored (flat backing included)."""
+        if self._flat is not None:
+            extras = sum(
+                1 for key in self._cache if self._flat.lookup(key) is None
+            )
+            return self._flat.count + extras
         return len(self._cache)
 
     def estimated_size_bytes(self) -> int:
@@ -160,6 +188,7 @@ class MarkovTable:
         Canonical keys are tuples of ``(src_index, dst_index, label)``
         triples; they serialise as nested lists.
         """
+        self.materialize()
         labels = self.labels
         if labels is None and self.graph is not None:
             labels = self.graph.labels

@@ -446,9 +446,9 @@ def _build_workload(args: argparse.Namespace, graph) -> list | None:
 
 def run_stats(argv: list[str]) -> int:
     """The ``repro stats`` subcommand; returns a process exit code."""
-    if not argv or argv[0] not in ("build", "inspect"):
+    if not argv or argv[0] not in ("build", "inspect", "repack"):
         print(
-            "repro stats: expected a subcommand: build | inspect DIR",
+            "repro stats: expected a subcommand: build | inspect | repack DIR",
             file=sys.stderr,
         )
         return 2
@@ -463,6 +463,11 @@ def run_stats(argv: list[str]) -> int:
             return 2
         print(json.dumps(report, indent=2))
         return 0
+    if argv[0] == "repack":
+        if len(argv) != 2:
+            print("repro stats repack: expected one DIR", file=sys.stderr)
+            return 2
+        return _run_stats_repack(Path(argv[1]))
     args = build_stats_parser().parse_args(argv[1:])
     if args.cycle_rates and args.workload == "full":
         print(
@@ -533,6 +538,48 @@ def run_stats(argv: list[str]) -> int:
         "total_bytes": inspect_artifact(args.out)["total_bytes"],
     }
     print(json.dumps(summary, indent=2 if args.indent else None))
+    return 0
+
+
+def _run_stats_repack(directory: Path) -> int:
+    """Convert a legacy JSON-layout artifact to the flat layout in place."""
+    from repro.stats.artifact import CATALOG_FILES, StoreManifest
+
+    try:
+        manifest = StoreManifest.load(directory)
+        if manifest.generation > manifest.compacted_generation:
+            print(
+                f"repro stats repack: {directory} has "
+                f"{manifest.generation - manifest.compacted_generation} "
+                "unfolded delta generation(s); fold them first with "
+                "'repro updates compact DIR' so the repacked base files "
+                "carry the current state",
+                file=sys.stderr,
+            )
+            return 2
+        store = StatisticsStore.load(directory)
+        store.save(directory, layout="flat")
+    except ReproError as error:
+        print(f"repro stats repack: {error}", file=sys.stderr)
+        return 2
+    removed = []
+    for name in ("markov", "degrees", "sumrdf"):
+        legacy = directory / CATALOG_FILES[name]
+        if legacy.exists():
+            legacy.unlink()
+            removed.append(legacy.name)
+    print(
+        json.dumps(
+            {
+                "directory": str(directory),
+                "layout": "flat",
+                "removed": removed,
+                "total_bytes": inspect_artifact(directory)["total_bytes"],
+                "mmap_capable": True,
+            },
+            indent=2,
+        )
+    )
     return 0
 
 
@@ -773,6 +820,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "sharing the port (SO_REUSEPORT), artifacts "
                              "loaded once pre-fork; 0 (default) serves "
                              "single-process in this process")
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map flat-layout artifacts zero-copy "
+                             "instead of parsing them into private pages "
+                             "(legacy JSON layouts are refused with a "
+                             "pointer at 'repro stats repack')")
+    parser.add_argument("--no-shared-plane", action="store_true",
+                        help="fleet mode only: disable the /dev/shm shared "
+                             "statistics plane (one parsed artifact image "
+                             "per host) and give every worker its own "
+                             "private parse")
     return parser
 
 
@@ -790,7 +847,14 @@ def run_serve(argv: list[str]) -> int:
             file=sys.stderr,
         )
         return 2
-    registry = StoreRegistry()
+    plane = None
+    if args.workers > 0 and not args.no_shared_plane:
+        # Fleet mode: reloads fan out across N workers, so route them
+        # through the per-host shared image — one parse, N attaches.
+        from repro.stats.shm import SharedArtifactPlane
+
+        plane = SharedArtifactPlane.create()
+    registry = StoreRegistry(plane=plane, mmap=args.mmap)
     for item in args.tenant:
         name, separator, path = item.partition("=")
         if not separator or not name or not path:
@@ -827,6 +891,7 @@ def run_serve(argv: list[str]) -> int:
         try:
             supervisor.start()
         except (ReproError, OSError, RuntimeError) as error:
+            registry.release_shared()
             print(f"repro serve: {error}", file=sys.stderr)
             return 1
         return supervisor.run()

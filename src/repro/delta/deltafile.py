@@ -129,6 +129,11 @@ def apply_delta_payload(
         labels = payload["labels"]
     except KeyError as error:
         raise DatasetError(f"invalid statistics delta: missing {error}")
+    # Flat-backed catalogs must fold their array backing into the cache
+    # before set/delete below — a delete against the cache alone would
+    # leave the entry visible through the arrays.
+    store.markov.materialize()
+    store.degrees.materialize()
     store.markov.labels = tuple(str(label) for label in labels)
     store.markov.complete = bool(
         markov_patch.get("complete", store.markov.complete)
@@ -276,6 +281,10 @@ def clone_store(store: "StatisticsStore") -> "StatisticsStore":
         count_impl=store.markov.count_impl,
     )
     markov._cache = dict(store.markov._cache)
+    # Share the (read-only) flat array backing rather than materialising
+    # the *source* — decoding into a live store's cache would race its
+    # readers.  Whoever mutates the clone materialises the clone.
+    markov._flat = store.markov._flat
     degrees = DegreeCatalog(
         store.degrees.graph,
         h=store.degrees.h,
@@ -283,6 +292,7 @@ def clone_store(store: "StatisticsStore") -> "StatisticsStore":
         complete=store.degrees.complete,
     )
     degrees._cache = dict(store.degrees._cache)
+    degrees._flat = store.degrees._flat
     entropy = None
     if store.entropy is not None:
         entropy = EntropyCatalog(

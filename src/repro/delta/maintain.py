@@ -239,6 +239,10 @@ def apply_updates(
             "(stored counts may be missing); rebuild the artifact instead"
         )
     started = time.perf_counter()
+    # Maintenance diffs and mutates the catalog caches directly; fold
+    # any flat array backing in first so deletions actually delete.
+    store.markov.materialize()
+    store.degrees.materialize()
     old_graph = store.graph
     overlay = MutableGraphOverlay(old_graph)
     overlay.apply_batch(batch)

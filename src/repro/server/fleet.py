@@ -333,6 +333,12 @@ class FleetSupervisor:
         for position, sock in enumerate(self._direct_sockets):
             if position != index:
                 sock.close()
+        # Count this worker as its own user of every inherited shared
+        # segment (fork copies the mapping, not the registration) —
+        # before refresh_if_stale, which may attach/publish segments of
+        # its own.  A restarted worker's refresh attaches the *live*
+        # image its peers already published rather than re-parsing.
+        self.registry.reattach_shared()
         # A restarted worker inherits the registry as of the original
         # fork; catch up with any delta batches applied on disk since.
         # Failures here are survivable: the worker serves its fork-time
@@ -365,7 +371,12 @@ class FleetSupervisor:
             os.close(ready_fd)
             await server.run_until_shutdown()
 
-        asyncio.run(main())
+        try:
+            asyncio.run(main())
+        finally:
+            # Deregister from every shared segment on the way out so the
+            # last process of the fleet unlinks them (no /dev/shm leak).
+            self.registry.release_shared()
         return 0
 
     # ------------------------------------------------------------------
@@ -482,6 +493,9 @@ class FleetSupervisor:
             for signum, handler in previous.items():
                 signal.signal(signum, handler)
             self._close_sockets()
+            # The supervisor is usually the last registrant standing;
+            # releasing here unlinks every surviving shared segment.
+            self.registry.release_shared()
         self.emit({"event": "stopped"})
         return exit_code
 

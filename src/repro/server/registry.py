@@ -59,6 +59,11 @@ class TenantEntry:
     session: EstimationSession
     generation: int
     loaded_at: str = field(default_factory=_utc_now)
+    #: The shared-memory segment this entry's arrays view into (a
+    #: :class:`repro.stats.shm.SegmentHandle`), or None for a private
+    #: disk parse.  Kept on the entry so the mapping outlives every
+    #: in-flight request against this generation.
+    shm: Any = None
 
     @property
     def fingerprint(self) -> str:
@@ -81,6 +86,7 @@ class TenantEntry:
             "molp_h": manifest.molp_h,
             "complete": manifest.complete,
             "catalogs": list(manifest.catalogs),
+            "shm_segment": self.shm.name if self.shm is not None else None,
             "cache": self.session.stats().as_dict(),
         }
 
@@ -88,11 +94,22 @@ class TenantEntry:
 class StoreRegistry:
     """Named, hot-reloadable statistics stores for a serving process."""
 
-    def __init__(self, **session_kwargs: Any):
+    def __init__(
+        self,
+        plane: Any = None,
+        mmap: bool = False,
+        **session_kwargs: Any,
+    ):
         #: Keyword arguments forwarded to every ``store.session(...)``
         #: (e.g. LRU capacities); fixed for the registry's lifetime so
         #: a reloaded tenant serves with the same cache configuration.
         self._session_kwargs = dict(session_kwargs)
+        #: Optional :class:`repro.stats.shm.SharedArtifactPlane`: loads
+        #: and reloads go through one shared per-host image instead of a
+        #: private parse per process (see :meth:`_load_store`).
+        self._plane = plane
+        #: Whether disk parses memory-map flat artifacts zero-copy.
+        self._mmap = bool(mmap)
         self._lock = threading.Lock()
         self._tenants: dict[str, TenantEntry] = {}
 
@@ -118,11 +135,42 @@ class StoreRegistry:
     # ------------------------------------------------------------------
     # Writes (atomic publication)
     # ------------------------------------------------------------------
+    def _load_store(self, path: Path) -> tuple[StatisticsStore, Any]:
+        """A store for ``path``, through the shared plane when present.
+
+        With a plane, the first process on the host parses the artifact
+        once and publishes its image; everyone else (this call included,
+        when a peer won) attaches the same shared pages and rebuilds the
+        store zero-copy.  Any shared-memory trouble falls back to an
+        ordinary private parse — the plane is an optimisation, never a
+        availability dependency.
+        """
+        plane = self._plane
+        if plane is None:
+            return StatisticsStore.load(path, mmap=self._mmap), None
+        from repro.stats.flatpack import store_from_image, store_to_image
+
+        key = plane.store_key(path)
+
+        def build() -> tuple[dict, dict]:
+            return store_to_image(
+                StatisticsStore.load(path, mmap=self._mmap)
+            )
+
+        try:
+            meta, arrays, handle = plane.acquire(key, build)
+            return store_from_image(meta, arrays), handle
+        except DatasetError:
+            # Either the plane itself failed (fall back to a private
+            # parse) or the artifact is invalid (the parse below raises
+            # the same validation error the caller expects).
+            return StatisticsStore.load(path, mmap=self._mmap), None
+
     def _build_entry(
         self, name: str, path: str | Path, generation: int
     ) -> TenantEntry:
         path = Path(path)
-        store = StatisticsStore.load(path)
+        store, handle = self._load_store(path)
         session = store.session(**self._session_kwargs)
         return TenantEntry(
             name=name,
@@ -130,6 +178,7 @@ class StoreRegistry:
             store=store,
             session=session,
             generation=generation,
+            shm=handle,
         )
 
     def load(self, name: str, path: str | Path) -> TenantEntry:
@@ -247,15 +296,30 @@ class StoreRegistry:
                 )
             entry = self.reload(name, allow_fingerprint_change=True)
             return entry, manifest.generation - served
-        store = clone_store(current.store)
-        applied = replay_delta_chain(
-            store,
-            manifest,
-            current.path,
-            from_generation=served,
-            expected_fingerprint=store.manifest.dataset_fingerprint,
-        )
-        store.manifest = manifest
+        store = None
+        handle = None
+        applied = manifest.generation - served
+        if self._plane is not None:
+            # A sibling worker may already have replayed this batch and
+            # published the refreshed image — attach its shared pages
+            # instead of paying a per-process clone-and-replay.
+            attached = self._attach_image(
+                current.path, min_generation=manifest.generation
+            )
+            if attached is not None:
+                store, handle = attached
+        if store is None:
+            store = clone_store(current.store)
+            applied = replay_delta_chain(
+                store,
+                manifest,
+                current.path,
+                from_generation=served,
+                expected_fingerprint=store.manifest.dataset_fingerprint,
+            )
+            store.manifest = manifest
+            if self._plane is not None:
+                store, handle = self._publish_image(current.path, store)
         session = store.session(**self._session_kwargs)
         replacement = TenantEntry(
             name=name,
@@ -263,6 +327,7 @@ class StoreRegistry:
             store=store,
             session=session,
             generation=current.generation + 1,
+            shm=handle,
         )
         with self._lock:
             live = self._tenants.get(name)
@@ -305,10 +370,79 @@ class StoreRegistry:
             return current, 0
         return self.apply_deltas(name)
 
+    def _attach_image(
+        self, path: Path, min_generation: int
+    ) -> tuple[StatisticsStore, Any] | None:
+        """A (store, handle) over a peer's published image, or None."""
+        from repro.stats.flatpack import store_from_image
+
+        plane = self._plane
+        try:
+            handle = plane.try_attach(plane.store_key(path))
+            if handle is None:
+                return None
+            store = store_from_image(handle.meta, handle.arrays())
+        except (OSError, DatasetError):
+            return None
+        if store.manifest.generation < min_generation:
+            handle.close()
+            return None
+        return store, handle
+
+    def _publish_image(
+        self, path: Path, store: StatisticsStore
+    ) -> tuple[StatisticsStore, Any]:
+        """Publish a refreshed in-memory store; serve the shared copy.
+
+        Sibling processes refreshing the same tenant then attach instead
+        of replaying; on plane failure the private store serves as-is.
+        """
+        from repro.stats.flatpack import store_from_image, store_to_image
+
+        plane = self._plane
+        try:
+            meta, arrays, handle = plane.acquire(
+                plane.store_key(path), lambda: store_to_image(store)
+            )
+            return store_from_image(meta, arrays), handle
+        except (OSError, DatasetError):
+            return store, None
+
+    # ------------------------------------------------------------------
+    # Shared-segment lifecycle (worker fleet hooks)
+    # ------------------------------------------------------------------
+    def reattach_shared(self) -> None:
+        """Register this process on every inherited segment (post-fork).
+
+        A forked worker inherits the supervisor's mappings but not its
+        refcount registration; each worker must count as its own user so
+        the segment survives the supervisor or any sibling exiting.
+        """
+        for entry in self._tenants.values():
+            if entry.shm is not None:
+                entry.shm.reattach()
+
+    def release_shared(self) -> None:
+        """Deregister every segment; the last process out unlinks them."""
+        for entry in self._tenants.values():
+            if entry.shm is not None:
+                entry.shm.close()
+
+    def plane_stats(self) -> dict[str, Any] | None:
+        """The shared plane's publish/attach counters, or None."""
+        return self._plane.stats() if self._plane is not None else None
+
     def _publish(self, name: str, entry: TenantEntry) -> None:
+        old = self._tenants.get(name)
         # Replace the whole dict so readers only ever see a fully
         # consistent mapping (dict reads are atomic under the GIL, but
         # swapping the reference keeps the invariant obvious).
         tenants = dict(self._tenants)
         tenants[name] = entry
         self._tenants = tenants
+        if old is not None and old.shm is not None and old.shm is not entry.shm:
+            # Deregister this process from the replaced generation's
+            # segment.  The mapping itself stays valid for in-flight
+            # requests (an unlinked tmpfs file lives until the last map
+            # closes); only the /dev/shm name is allowed to disappear.
+            old.shm.close()

@@ -46,6 +46,7 @@ import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import DatasetError, ReproError
@@ -58,6 +59,7 @@ from repro.server.coalescer import SingleFlight
 from repro.server.protocol import ProtocolError, Request
 from repro.server.registry import StoreRegistry, TenantEntry
 from repro.service.session import EstimatorSpec
+from repro.stats.store import parse_count as stats_parse_count
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.server.fleet import FleetContext
@@ -802,6 +804,14 @@ class EstimationServer:
                 "by_verb": dict(self._verb_counts),
             },
         }
+        result["memory"] = _process_memory()
+        result["memory"]["mapped"] = _mapped_statistics_memory()
+        plane = self.registry.plane_stats()
+        result["artifact_plane"] = {
+            "disk_parses": stats_parse_count(),
+            "shared": plane is not None,
+            **(plane or {}),
+        }
         if self.fleet is not None:
             result["worker"] = {
                 "index": self.fleet.index,
@@ -812,6 +822,77 @@ class EstimationServer:
             }
             result["tenant_assignment"] = dict(self.fleet.assignment)
         return result
+
+
+def _process_memory() -> dict[str, float]:
+    """This process's RSS/PSS/USS in kB (Linux ``smaps_rollup``).
+
+    USS (private pages only) is the honest marginal cost of one worker
+    under the shared statistics plane; platforms without smaps_rollup
+    report zeros rather than failing the stats verb.
+    """
+    fields: dict[str, float] = {}
+    try:
+        text = Path(f"/proc/{os.getpid()}/smaps_rollup").read_text()
+    except OSError:  # pragma: no cover - non-Linux
+        return {"rss_kb": 0.0, "pss_kb": 0.0, "uss_kb": 0.0}
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) >= 2 and parts[0].rstrip(":") in (
+            "Rss",
+            "Pss",
+            "Private_Clean",
+            "Private_Dirty",
+        ):
+            fields[parts[0].rstrip(":")] = float(parts[1])
+    return {
+        "rss_kb": fields.get("Rss", 0.0),
+        "pss_kb": fields.get("Pss", 0.0),
+        "uss_kb": fields.get("Private_Clean", 0.0)
+        + fields.get("Private_Dirty", 0.0),
+    }
+
+
+_SMAPS_HEADER = None
+
+
+def _mapped_statistics_memory() -> list[dict[str, Any]]:
+    """Mapped-vs-resident bytes of this process's statistics mappings.
+
+    Walks ``/proc/self/smaps`` for shared-plane segments (``repro-img-*``)
+    and mmap-ed flat artifacts (``catalogs.npz``): ``mapped_kb`` is the
+    address-space reservation, ``rss_kb`` the pages actually resident —
+    the operator's view of how much of a catalog a worker has touched.
+    """
+    global _SMAPS_HEADER
+    if _SMAPS_HEADER is None:
+        import re
+
+        _SMAPS_HEADER = re.compile(r"^[0-9a-f]+-[0-9a-f]+\s")
+    try:
+        lines = Path("/proc/self/smaps").read_text().splitlines()
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+    segments: dict[str, dict[str, Any]] = {}
+    current: dict[str, Any] | None = None
+    for line in lines:
+        if _SMAPS_HEADER.match(line):
+            current = None
+            name = line.split()[-1] if line.count(" ") >= 5 else ""
+            base = name.rsplit("/", 1)[-1]
+            if base.startswith("repro-img-") or base.endswith(
+                "catalogs.npz"
+            ):
+                current = segments.setdefault(
+                    base, {"name": base, "mapped_kb": 0.0, "rss_kb": 0.0}
+                )
+        elif current is not None:
+            parts = line.split()
+            if parts and parts[0] == "Size:":
+                current["mapped_kb"] += float(parts[1])
+            elif parts and parts[0] == "Rss:":
+                current["rss_kb"] += float(parts[1])
+    return sorted(segments.values(), key=lambda s: s["name"])
 
 
 def _aggregate_fleet_stats(
@@ -826,6 +907,8 @@ def _aggregate_fleet_stats(
         "deadline_exceeded_total": 0,
         "abandoned": 0,
     }
+    plane = {"disk_parses": 0, "publishes": 0, "attaches": 0}
+    memory = {"uss_kb_total": 0.0, "uss_kb_max": 0.0, "rss_kb_max": 0.0}
     reporting = 0
     for _index, slot in sorted(workers.items(), key=lambda kv: int(kv[0])):
         if not slot.get("ok"):
@@ -835,6 +918,17 @@ def _aggregate_fleet_stats(
         requests = stats.get("requests") or {}
         totals["requests_total"] += int(requests.get("total", 0))
         by_verb.update(requests.get("by_verb") or {})
+        worker_plane = stats.get("artifact_plane") or {}
+        for field in plane:
+            plane[field] += int(worker_plane.get(field, 0))
+        worker_memory = stats.get("memory") or {}
+        memory["uss_kb_total"] += float(worker_memory.get("uss_kb", 0.0))
+        memory["uss_kb_max"] = max(
+            memory["uss_kb_max"], float(worker_memory.get("uss_kb", 0.0))
+        )
+        memory["rss_kb_max"] = max(
+            memory["rss_kb_max"], float(worker_memory.get("rss_kb", 0.0))
+        )
         admission = stats.get("admission") or {}
         totals["shed_total"] += int(admission.get("shed_total", 0))
         totals["deadline_exceeded_total"] += int(
@@ -859,6 +953,8 @@ def _aggregate_fleet_stats(
         "workers_reporting": reporting,
         "by_verb": dict(by_verb),
         "tenants": tenants,
+        "artifact_plane": plane,
+        "memory": memory,
         **totals,
     }
 

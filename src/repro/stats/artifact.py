@@ -1,15 +1,20 @@
 """Versioned on-disk layout for statistics artifacts.
 
-One artifact directory holds everything the serving plane needs::
+One artifact directory holds everything the serving plane needs.  The
+default ``layout: "flat"`` keeps the array-heavy catalogs columnar and
+mmap-able::
 
     <dir>/
-      manifest.json             # format version, fingerprint, build config
-      markov.json               # MarkovTable.to_artifact()
-      degrees.json              # DegreeCatalog.to_artifact()
+      manifest.json             # format version, fingerprint, layout, config
+      catalogs.npz              # markov/degrees/sumrdf as aligned arrays
+      catalogs.meta.json        # vocabularies, flags, irregular fallbacks
       cycle_rates.json          # optional: CycleClosingRates.to_artifact()
       entropy.json              # optional: EntropyCatalog.to_artifact()
       characteristic_sets.json  # CharacteristicSetsEstimator.to_artifact()
-      sumrdf.npz                # SumRdfEstimator.to_artifact() arrays
+
+The legacy ``layout: "json"`` spells the same catalogs as one file each
+(``markov.json`` / ``degrees.json`` / ``sumrdf.npz``); loads accept
+both, ``repro stats repack`` converts old artifacts in place.
 
 The manifest carries a *dataset fingerprint* — a content hash of the
 graph's relations — so a serving process can refuse statistics built
@@ -33,6 +38,9 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "MANIFEST_FILE",
     "CATALOG_FILES",
+    "CATALOG_ARRAYS_FILE",
+    "CATALOG_META_FILE",
+    "SIDECAR_CATALOGS",
     "DELTAS_DIR",
     "BUILD_STATE_DIR",
     "CHECKPOINT_FILE",
@@ -71,6 +79,18 @@ CATALOG_FILES = {
     "characteristic_sets": "characteristic_sets.json",
     "sumrdf": "sumrdf.npz",
 }
+
+#: The ``layout: "flat"`` files replacing markov/degrees/sumrdf: one
+#: uncompressed, mmap-able NPZ of columnar arrays plus its JSON metadata
+#: (vocabularies, completeness flags, irregular-entry fallbacks).
+CATALOG_ARRAYS_FILE = "catalogs.npz"
+CATALOG_META_FILE = "catalogs.meta.json"
+
+#: Small dict-shaped catalogs that stay lazy JSON sidecar files in both
+#: layouts (they are dwarfed by the array-backed ones).
+SIDECAR_CATALOGS = frozenset(
+    {"cycle_rates", "entropy", "characteristic_sets"}
+)
 
 
 def dataset_fingerprint(graph: LabeledDiGraph) -> str:
@@ -114,6 +134,10 @@ class StoreManifest:
     build_config: dict = field(default_factory=dict)
     catalogs: list[str] = field(default_factory=list)
     complete: bool = False
+    #: On-disk encoding: "json" (one JSON/NPZ file per catalog, the
+    #: pre-flat layout) or "flat" (columnar catalogs.npz + meta, the
+    #: mmap-able default).  Absent from old manifests -> "json".
+    layout: str = "json"
     generation: int = 0
     base_fingerprint: str = ""
     compacted_generation: int = 0
@@ -137,6 +161,7 @@ class StoreManifest:
             "complete": self.complete,
             "build_config": self.build_config,
             "catalogs": sorted(self.catalogs),
+            "layout": self.layout,
             "generation": self.generation,
             "base_fingerprint": self.base_fingerprint,
             "compacted_generation": self.compacted_generation,
@@ -161,6 +186,7 @@ class StoreManifest:
                 complete=bool(payload.get("complete", False)),
                 build_config=dict(payload.get("build_config", {})),
                 catalogs=list(payload.get("catalogs", [])),
+                layout=str(payload.get("layout", "json")),
                 generation=int(payload.get("generation", 0)),
                 base_fingerprint=str(payload.get("base_fingerprint", "")),
                 compacted_generation=int(

@@ -1,0 +1,477 @@
+"""Shared-memory statistics plane: one parsed image per host.
+
+An N-worker fleet serving the same artifact used to pay N disk parses
+per reload — N JSON decodes, N NPZ inflations, N private copies of the
+same arrays.  This module makes the parse a per-*host* cost: the first
+process to need a statistics generation encodes it once (via
+:func:`repro.stats.flatpack.store_to_image`) into a shared segment under
+``/dev/shm``; every sibling worker attaches the same pages zero-copy and
+rebuilds its store from numpy views over the mapping.  Served floats are
+bit-identical to a disk load because float64 arrays pass through the
+image codec untouched.
+
+Implementation notes — the plane is built directly on ``/dev/shm``
+files (``os.open`` + ``mmap``), *not* :mod:`multiprocessing.shared_memory`:
+the stdlib helper drags in a resource-tracker sidecar process whose
+at-exit chatter lands on stderr, and the serving tier asserts clean
+stderr.  The kernel mechanism is identical (tmpfs-backed pages shared
+across processes); doing it by hand buys exact control of naming,
+lifecycle, and teardown.
+
+Per segment there are two files:
+
+``repro-img-<digest>``
+    The image: a 4 KiB header (magic, READY flag written last,
+    creator pid, meta length, and a 128-slot pid refcount table), the
+    JSON-encoded meta, then the arrays 64-byte aligned, indexed by an
+    offset table inside the meta.
+``repro-clm-<digest>``
+    The build claim: created ``O_EXCL`` by the publishing process and
+    removed once the image is READY.  Attachers finding a claim poll
+    for READY; if the claimant pid is dead they steal the claim and
+    rebuild (crash-safe publishing).
+
+Lifecycle is pid-refcounted: every process using a segment registers
+its pid in the header table (under ``flock`` on the image file), a
+fork's child re-registers itself (:meth:`SegmentHandle.reattach`), and
+whichever process deregisters last unlinks the file — dead pids found
+in the table are pruned, so a SIGKILL'd worker cannot leak a segment.
+"""
+
+from __future__ import annotations
+
+import errno
+import fcntl
+import hashlib
+import json
+import mmap
+import os
+import struct
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["SharedArtifactPlane", "SegmentHandle", "shm_root"]
+
+SEGMENT_MAGIC = b"RPROSHM1"
+#: Header layout: magic(8) state(8) creator_pid(8) meta_len(8), then the
+#: pid table at PID_TABLE_OFFSET, data from HEADER_BYTES.
+HEADER_BYTES = 4096
+PID_TABLE_OFFSET = 1024
+PID_SLOTS = 128
+_STATE_BUILDING = 0
+_STATE_READY = 1
+_ALIGN = 64
+
+#: How long an attacher waits for a claimed build before giving up and
+#: parsing from disk itself (seconds).
+READY_TIMEOUT = 30.0
+_POLL_INTERVAL = 0.005
+
+
+def shm_root() -> Path:
+    """Where segments live (``REPRO_SHM_DIR`` overrides, for tests)."""
+    return Path(os.environ.get("REPRO_SHM_DIR", "/dev/shm"))
+
+
+def _digest(artifact_path: str | Path) -> str:
+    """Content key of one artifact generation, tenant-agnostic.
+
+    Hashes the resolved directory path plus the manifest bytes, so two
+    tenants pointing at the same artifact share one image while a
+    compaction/delta rewrite (new manifest) gets a fresh segment.
+    """
+    directory = Path(artifact_path).resolve()
+    digest = hashlib.sha1(str(directory).encode("utf-8"))
+    manifest = directory / "manifest.json"
+    try:
+        digest.update(b"\x00" + manifest.read_bytes())
+    except OSError:
+        pass
+    return digest.hexdigest()[:24]
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    return True
+
+
+class SegmentHandle:
+    """One process's registered mapping of a READY segment.
+
+    Holds the ``mmap`` the store's arrays view into, so it must stay
+    referenced as long as the store is served; :meth:`close` deregisters
+    this process's pid and unlinks the segment when the table empties.
+    """
+
+    def __init__(self, path: Path, fd: int, buf: mmap.mmap, meta: dict):
+        self.path = path
+        self._fd = fd
+        self._buf = buf
+        self.meta = meta
+        self.registered_pid = 0
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Zero-copy numpy views over the shared pages."""
+        out: dict[str, np.ndarray] = {}
+        for entry in self.meta["__arrays__"]:
+            array = np.frombuffer(
+                self._buf,
+                dtype=np.dtype(entry["dtype"]),
+                count=int(np.prod(entry["shape"], dtype=np.int64))
+                if entry["shape"]
+                else 1,
+                offset=entry["offset"],
+            )
+            out[entry["name"]] = array.reshape(entry["shape"])
+        return out
+
+    # -- refcount -----------------------------------------------------
+    def _mutate_pids(self, mutate) -> int:
+        """Run ``mutate(pids) -> pids`` on the table under flock."""
+        fcntl.flock(self._fd, fcntl.LOCK_EX)
+        try:
+            table = self._buf[
+                PID_TABLE_OFFSET : PID_TABLE_OFFSET + 8 * PID_SLOTS
+            ]
+            pids = [
+                pid
+                for pid in struct.unpack(f"<{PID_SLOTS}q", table)
+                if _pid_alive(pid)
+            ]
+            pids = mutate(pids)
+            if len(pids) > PID_SLOTS:  # pragma: no cover - 128 procs/host
+                pids = pids[:PID_SLOTS]
+            packed = struct.pack(
+                f"<{PID_SLOTS}q", *pids, *([0] * (PID_SLOTS - len(pids)))
+            )
+            self._buf[PID_TABLE_OFFSET : PID_TABLE_OFFSET + 8 * PID_SLOTS] = (
+                packed
+            )
+            return len(pids)
+        finally:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+
+    def register(self) -> None:
+        """Add one reference for this process to the refcount table.
+
+        The table holds one entry per *registration*, not per distinct
+        pid: a process serving two tenants off one artifact holds two
+        handles, and closing one must not strip the other's reference.
+        """
+        me = os.getpid()
+        self._mutate_pids(lambda pids: pids + [me])
+        self.registered_pid = me
+
+    def reattach(self) -> None:
+        """Re-register after ``fork()``: the child counts as a new user."""
+        if self.registered_pid != os.getpid():
+            self.register()
+
+    def close(self) -> None:
+        """Deregister; the last process out unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        me = os.getpid()
+
+        def drop_one(pids: list[int]) -> list[int]:
+            out = list(pids)
+            try:
+                out.remove(me)
+            except ValueError:
+                pass
+            return out
+
+        try:
+            remaining = self._mutate_pids(drop_one)
+            if remaining == 0:
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+        except (OSError, ValueError):  # pragma: no cover - racing unlink
+            pass
+        try:
+            self._buf.close()
+        except BufferError:
+            # numpy views are still alive (store still referenced
+            # somewhere); the mapping is freed when they are collected.
+            pass
+        try:
+            os.close(self._fd)
+        except OSError:  # pragma: no cover
+            pass
+
+
+class SharedArtifactPlane:
+    """Publish/attach statistics images keyed by artifact generation."""
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else shm_root()
+        self.publishes = 0
+        self.attaches = 0
+
+    @classmethod
+    def create(cls) -> "SharedArtifactPlane | None":
+        """A plane if shared memory is usable here, else None."""
+        plane = cls()
+        return plane if plane.available() else None
+
+    def available(self) -> bool:
+        root = self.root
+        return root.is_dir() and os.access(root, os.W_OK)
+
+    # -- naming -------------------------------------------------------
+    def store_key(self, artifact_path: str | Path) -> str:
+        return _digest(artifact_path)
+
+    def _image_path(self, key: str) -> Path:
+        return self.root / f"repro-img-{key}"
+
+    def _claim_path(self, key: str) -> Path:
+        return self.root / f"repro-clm-{key}"
+
+    def segments(self) -> list[str]:
+        """Names of this plane's live segments (test/bench teardown)."""
+        return sorted(
+            path.name for path in self.root.glob("repro-img-*")
+        ) + sorted(path.name for path in self.root.glob("repro-clm-*"))
+
+    def stats(self) -> dict:
+        return {"publishes": self.publishes, "attaches": self.attaches}
+
+    # -- attach -------------------------------------------------------
+    def try_attach(self, key: str) -> SegmentHandle | None:
+        """Map an existing READY segment, or None if there is none.
+
+        Waits out an in-progress build by a live claimant; a dead
+        claimant's partial image is removed so the caller rebuilds.
+        """
+        deadline = time.monotonic() + READY_TIMEOUT
+        while True:
+            handle = self._open_ready(key)
+            if handle is not None:
+                self.attaches += 1
+                return handle
+            claim_pid = self._claimant(key)
+            if claim_pid is None:
+                return None
+            if not _pid_alive(claim_pid):
+                self._steal_claim(key, claim_pid)
+                return None
+            if time.monotonic() > deadline:  # pragma: no cover - hung peer
+                return None
+            time.sleep(_POLL_INTERVAL)
+
+    def _open_ready(self, key: str) -> SegmentHandle | None:
+        path = self._image_path(key)
+        try:
+            fd = os.open(path, os.O_RDWR)
+        except OSError:
+            return None
+        try:
+            size = os.fstat(fd).st_size
+            if size < HEADER_BYTES:
+                os.close(fd)
+                return None
+            buf = mmap.mmap(fd, size)
+            magic, state, creator, meta_len = struct.unpack_from(
+                "<8sqqq", buf, 0
+            )
+            if magic != SEGMENT_MAGIC or state != _STATE_READY:
+                buf.close()
+                os.close(fd)
+                return None
+            meta = json.loads(
+                bytes(buf[HEADER_BYTES : HEADER_BYTES + meta_len]).decode(
+                    "utf-8"
+                )
+            )
+            handle = SegmentHandle(path, fd, buf, meta)
+            handle.register()
+            return handle
+        except (OSError, ValueError):
+            os.close(fd)
+            return None
+
+    def _claimant(self, key: str) -> int | None:
+        try:
+            text = self._claim_path(key).read_text(encoding="utf-8")
+            return int(text.strip() or "0")
+        except (OSError, ValueError):
+            return None
+
+    def _steal_claim(self, key: str, dead_pid: int) -> None:
+        """Remove a dead builder's claim and any half-written temp file.
+
+        Publishing renames a complete temp file into place, so the image
+        path itself is never partial — only the claim and the dead
+        builder's ``.tmp*`` need sweeping before the caller rebuilds.
+        """
+        for pattern in (
+            f"repro-img-{key}.tmp*",
+            f"repro-clm-{key}.tmp*",
+        ):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        try:
+            self._claim_path(key).unlink()
+        except OSError:
+            pass
+
+    # -- publish ------------------------------------------------------
+    def acquire(self, key: str, build):
+        """Attach the segment for ``key``, building it if first in.
+
+        ``build()`` must return ``(meta, arrays)`` — typically
+        :func:`repro.stats.flatpack.store_to_image` output.  Returns
+        ``(meta, arrays, handle)`` where the arrays are shared-memory
+        views (publisher and attachers alike serve the same pages).
+        Exactly one process per host runs ``build()`` per key; the rest
+        attach.  On any shared-memory failure the caller should fall
+        back to a plain disk parse.
+        """
+        handle = self.try_attach(key)
+        if handle is not None:
+            return handle.meta, handle.arrays(), handle
+        claim = self._claim_path(key)
+        # The claim must appear with its builder pid already inside —
+        # a peer reading a half-written (empty) claim would take the
+        # "0" for a dead builder, steal the claim, and pay a duplicate
+        # parse.  Write a private temp file, then `link(2)` it into
+        # place: atomic full-content publication AND exclusive (link
+        # fails EEXIST when a peer claimed first).
+        tmp_claim = claim.with_name(claim.name + f".tmp{os.getpid()}")
+        try:
+            tmp_claim.write_text(str(os.getpid()), encoding="utf-8")
+        except OSError as error:
+            raise DatasetError(
+                f"shared statistics plane unavailable at {claim}: {error}"
+            )
+        try:
+            try:
+                os.link(tmp_claim, claim)
+            except OSError as error:
+                if error.errno != errno.EEXIST:
+                    raise DatasetError(
+                        f"shared statistics plane unavailable at {claim}: "
+                        f"{error}"
+                    )
+                # Lost the race: someone else is building right now.
+                handle = self.try_attach(key)
+                if handle is not None:
+                    return handle.meta, handle.arrays(), handle
+                raise DatasetError(
+                    f"shared statistics segment for {key} never became ready"
+                )
+        finally:
+            try:
+                tmp_claim.unlink()
+            except OSError:  # pragma: no cover
+                pass
+        try:
+            meta, arrays = build()
+            handle = self._publish(key, meta, arrays)
+        except BaseException:
+            try:
+                self._image_path(key).unlink()
+            except OSError:
+                pass
+            raise
+        finally:
+            try:
+                claim.unlink()
+            except OSError:  # pragma: no cover
+                pass
+        self.publishes += 1
+        return handle.meta, handle.arrays(), handle
+
+    def _publish(
+        self, key: str, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> SegmentHandle:
+        """Write one segment: header, meta JSON, aligned arrays."""
+        index = []
+        offset = 0  # relative to data start, patched below
+        plans = []
+        for name in sorted(arrays):
+            array = np.ascontiguousarray(arrays[name])
+            plans.append((name, array))
+        meta_blob = b""
+        # Two passes: array offsets depend on the meta length, which
+        # includes the offsets.  Fix the meta size with a first render,
+        # then pad it to a stable length.
+        for _ in range(2):
+            index = []
+            data_start = HEADER_BYTES + len(meta_blob)
+            data_start += -data_start % _ALIGN
+            offset = data_start
+            for name, array in plans:
+                offset += -offset % _ALIGN
+                index.append(
+                    {
+                        "name": name,
+                        "dtype": array.dtype.str,
+                        "shape": list(array.shape),
+                        "offset": offset,
+                        "nbytes": int(array.nbytes),
+                    }
+                )
+                offset += int(array.nbytes)
+            payload = dict(meta)
+            payload["__arrays__"] = index
+            meta_blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        total = offset
+        path = self._image_path(key)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        fd = os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
+        try:
+            os.ftruncate(fd, total)
+            buf = mmap.mmap(fd, total)
+            struct.pack_into(
+                "<8sqqq",
+                buf,
+                0,
+                SEGMENT_MAGIC,
+                _STATE_BUILDING,
+                os.getpid(),
+                len(meta_blob),
+            )
+            buf[HEADER_BYTES : HEADER_BYTES + len(meta_blob)] = meta_blob
+            for entry, (_, array) in zip(index, plans):
+                start = entry["offset"]
+                buf[start : start + entry["nbytes"]] = array.tobytes()
+            # READY is written last; attachers only trust a READY image.
+            struct.pack_into("<q", buf, 8, _STATE_READY)
+            buf.flush()
+            os.rename(tmp, path)
+        except BaseException:
+            os.close(fd)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        handle = SegmentHandle(
+            path, fd, buf, json.loads(meta_blob.decode("utf-8"))
+        )
+        handle.register()
+        return handle

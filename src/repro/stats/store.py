@@ -30,8 +30,11 @@ from repro.catalog.markov import MarkovTable
 from repro.errors import DatasetError
 from repro.graph.digraph import LabeledDiGraph
 from repro.stats.artifact import (
+    CATALOG_ARRAYS_FILE,
     CATALOG_FILES,
+    CATALOG_META_FILE,
     MANIFEST_FILE,
+    SIDECAR_CATALOGS,
     StoreManifest,
     dataset_fingerprint,
 )
@@ -39,7 +42,23 @@ from repro.stats.artifact import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.service.session import EstimationSession
 
-__all__ = ["StatisticsStore", "inspect_artifact", "human_bytes"]
+__all__ = [
+    "StatisticsStore",
+    "inspect_artifact",
+    "human_bytes",
+    "parse_count",
+]
+
+#: How many full artifact parses this process has paid (every
+#: StatisticsStore.load from disk).  Shared-plane attaches don't count —
+#: which is exactly what the fleet benchmarks assert: one parse per host
+#: per reload, not one per worker.
+_PARSE_COUNT = 0
+
+
+def parse_count() -> int:
+    """This process's cumulative disk-parse counter (see above)."""
+    return _PARSE_COUNT
 
 
 @dataclass
@@ -79,25 +98,50 @@ class StatisticsStore:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, directory: str | Path) -> Path:
-        """Write the versioned artifact directory; returns its path."""
+    def save(self, directory: str | Path, layout: str = "flat") -> Path:
+        """Write the versioned artifact directory; returns its path.
+
+        ``layout="flat"`` (the default) writes the array-backed catalogs
+        as one deterministic, uncompressed, mmap-able ``catalogs.npz``
+        plus ``catalogs.meta.json``; ``layout="json"`` writes the legacy
+        one-file-per-catalog form.  Both layouts keep the small
+        dict-shaped catalogs as JSON sidecars and byte-stable output
+        (CI byte-compares serial/parallel/resumed builds).
+        """
+        if layout not in ("flat", "json"):
+            raise ValueError(f"unknown artifact layout {layout!r}")
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         catalogs = ["markov", "degrees"]
-        _write_json(directory / CATALOG_FILES["markov"], self.markov.to_artifact())
-        _write_json(
-            directory / CATALOG_FILES["degrees"], self.degrees.to_artifact()
-        )
+        if layout == "flat":
+            from repro.stats.flatpack import catalogs_to_flat, write_stored_npz
+
+            if self.sumrdf is not None:
+                catalogs.append("sumrdf")
+            meta, arrays = catalogs_to_flat(self)
+            write_stored_npz(directory / CATALOG_ARRAYS_FILE, arrays)
+            (directory / CATALOG_META_FILE).write_text(
+                json.dumps(meta, sort_keys=True), encoding="utf-8"
+            )
+        else:
+            _write_json(
+                directory / CATALOG_FILES["markov"], self.markov.to_artifact()
+            )
+            _write_json(
+                directory / CATALOG_FILES["degrees"],
+                self.degrees.to_artifact(),
+            )
+            if self.sumrdf is not None:
+                catalogs.append("sumrdf")
+                np.savez_compressed(
+                    directory / CATALOG_FILES["sumrdf"],
+                    **self.sumrdf.to_artifact(),
+                )
         if self.characteristic_sets is not None:
             catalogs.append("characteristic_sets")
             _write_json(
                 directory / CATALOG_FILES["characteristic_sets"],
                 self.characteristic_sets.to_artifact(),
-            )
-        if self.sumrdf is not None:
-            catalogs.append("sumrdf")
-            np.savez_compressed(
-                directory / CATALOG_FILES["sumrdf"], **self.sumrdf.to_artifact()
             )
         if self.cycle_rates is not None:
             catalogs.append("cycle_rates")
@@ -111,6 +155,7 @@ class StatisticsStore:
                 directory / CATALOG_FILES["entropy"], self.entropy.to_artifact()
             )
         self.manifest.catalogs = sorted(catalogs)
+        self.manifest.layout = layout
         self.manifest.save(directory)
         return directory
 
@@ -120,14 +165,18 @@ class StatisticsStore:
         directory: str | Path,
         graph: LabeledDiGraph | None = None,
         max_rows: int | None = 5_000_000,
+        mmap: bool = False,
     ) -> "StatisticsStore":
         """Rebuild a store from :meth:`save` output.
 
         Passing the graph re-attaches the lazy fallback paths *and*
         verifies the artifact was built from that exact dataset (its
         fingerprint must match); without one the store is strictly
-        graph-free.
+        graph-free.  ``mmap=True`` memory-maps a flat-layout artifact's
+        catalog arrays zero-copy (and refuses the legacy JSON layout
+        with a pointer at ``repro stats repack``).
         """
+        global _PARSE_COUNT
         directory = Path(directory)
         if not directory.is_dir():
             raise DatasetError(
@@ -148,29 +197,44 @@ class StatisticsStore:
                     f"different dataset (fingerprint "
                     f"{manifest.dataset_fingerprint}, graph {fingerprint})"
                 )
-        markov = MarkovTable.from_artifact(
-            _read_json(directory / CATALOG_FILES["markov"]), graph
-        )
-        degrees = DegreeCatalog.from_artifact(
-            _read_json(directory / CATALOG_FILES["degrees"]),
-            graph,
-            max_rows=max_rows,
-        )
+        if mmap and manifest.layout != "flat":
+            raise DatasetError(
+                f"statistics artifact {directory} uses the legacy "
+                f"'{manifest.layout}' layout, which cannot be memory-"
+                "mapped; convert it once with 'repro stats repack DIR' "
+                "(new builds write the mmap-able flat layout by default)"
+            )
+        _PARSE_COUNT += 1
+        if manifest.layout == "flat":
+            markov, degrees, sumrdf = cls._load_flat_catalogs(
+                directory, manifest, graph, max_rows, mmap
+            )
+        else:
+            markov = MarkovTable.from_artifact(
+                _read_json(directory / CATALOG_FILES["markov"]), graph
+            )
+            degrees = DegreeCatalog.from_artifact(
+                _read_json(directory / CATALOG_FILES["degrees"]),
+                graph,
+                max_rows=max_rows,
+            )
+            sumrdf = None
+            if "sumrdf" in manifest.catalogs:
+                try:
+                    with np.load(directory / CATALOG_FILES["sumrdf"]) as data:
+                        sumrdf = SumRdfEstimator.from_artifact(
+                            dict(data.items())
+                        )
+                except OSError as error:
+                    raise DatasetError(
+                        f"statistics artifact is missing or has a corrupt "
+                        f"{CATALOG_FILES['sumrdf']}: {error}"
+                    )
         characteristic_sets = None
         if "characteristic_sets" in manifest.catalogs:
             characteristic_sets = CharacteristicSetsEstimator.from_artifact(
                 _read_json(directory / CATALOG_FILES["characteristic_sets"])
             )
-        sumrdf = None
-        if "sumrdf" in manifest.catalogs:
-            try:
-                with np.load(directory / CATALOG_FILES["sumrdf"]) as data:
-                    sumrdf = SumRdfEstimator.from_artifact(dict(data.items()))
-            except OSError as error:
-                raise DatasetError(
-                    f"statistics artifact is missing or has a corrupt "
-                    f"{CATALOG_FILES['sumrdf']}: {error}"
-                )
         cycle_rates = None
         if "cycle_rates" in manifest.catalogs:
             cycle_rates = CycleClosingRates.from_artifact(
@@ -195,6 +259,53 @@ class StatisticsStore:
         )
         _replay_deltas(store, directory)
         return store
+
+    @classmethod
+    def _load_flat_catalogs(cls, directory, manifest, graph, max_rows, mmap):
+        """The array-backed catalogs of a ``layout: "flat"`` artifact."""
+        from repro.stats.flatpack import (
+            IMAGE_FORMAT_VERSION,
+            degrees_from_flat,
+            markov_from_flat,
+            read_npz_arrays,
+            sumrdf_from_flat,
+        )
+
+        meta_path = directory / CATALOG_META_FILE
+        arrays_path = directory / CATALOG_ARRAYS_FILE
+        if not meta_path.is_file() or not arrays_path.is_file():
+            raise DatasetError(
+                f"statistics artifact {directory} declares layout 'flat' "
+                f"but is missing {CATALOG_ARRAYS_FILE} or {CATALOG_META_FILE}"
+            )
+        meta = _read_json(meta_path)
+        if meta.get("kind") != "flat_catalogs" or (
+            int(meta.get("format_version", 0)) != IMAGE_FORMAT_VERSION
+        ):
+            raise DatasetError(
+                f"corrupt statistics artifact {meta_path}: unexpected "
+                f"kind/format_version"
+            )
+        try:
+            arrays = read_npz_arrays(arrays_path, mmap=mmap)
+            markov = markov_from_flat(meta["markov"], arrays, graph)
+            degrees = degrees_from_flat(
+                meta["degrees"], arrays, graph, max_rows=max_rows
+            )
+            sumrdf = None
+            if "sumrdf" in manifest.catalogs:
+                if meta.get("sumrdf") is None:
+                    raise DatasetError(
+                        f"statistics artifact {directory} lists the sumrdf "
+                        f"catalog but {CATALOG_META_FILE} has no sumrdf entry"
+                    )
+                sumrdf = sumrdf_from_flat(meta["sumrdf"], arrays)
+        except KeyError as error:
+            raise DatasetError(
+                f"corrupt statistics artifact {arrays_path}: missing "
+                f"member/field {error}"
+            )
+        return markov, degrees, sumrdf
 
 
 def _replay_deltas(store: "StatisticsStore", directory: Path) -> None:
@@ -268,12 +379,26 @@ def inspect_artifact(directory: str | Path) -> dict:
         )
     manifest = StoreManifest.load(directory)
     report: dict = {"directory": str(directory), **manifest.to_payload()}
+    report["mmap_capable"] = manifest.layout == "flat"
     files: dict[str, dict] = {}
     catalogs: dict[str, dict] = {}
     total = 0
-    for catalog, name in [("manifest", MANIFEST_FILE)] + [
-        (catalog, CATALOG_FILES[catalog]) for catalog in manifest.catalogs
-    ]:
+    pairs = [("manifest", MANIFEST_FILE)]
+    if manifest.layout == "flat":
+        pairs += [
+            ("catalogs", CATALOG_ARRAYS_FILE),
+            ("catalogs_meta", CATALOG_META_FILE),
+        ]
+        pairs += [
+            (catalog, CATALOG_FILES[catalog])
+            for catalog in manifest.catalogs
+            if catalog in SIDECAR_CATALOGS
+        ]
+    else:
+        pairs += [
+            (catalog, CATALOG_FILES[catalog]) for catalog in manifest.catalogs
+        ]
+    for catalog, name in pairs:
         path = directory / name
         if not path.exists():
             files[name] = {"missing": True}
@@ -296,6 +421,8 @@ def inspect_artifact(directory: str | Path) -> dict:
                 {"entries": entry["entries"]} if "entries" in entry else {}
             ),
         }
+    if manifest.layout == "flat" and (directory / CATALOG_META_FILE).exists():
+        report["flat"] = _inspect_flat(directory, catalogs)
     for entry in manifest.deltas:
         for name in (entry.get("file"), _delta_sibling(directory, entry)):
             if not name:
@@ -333,6 +460,59 @@ def inspect_artifact(directory: str | Path) -> dict:
                 if level.get("resumed")
             ),
         }
+    return report
+
+
+def _inspect_flat(directory: Path, catalogs: dict) -> dict:
+    """Per-catalog array breakdown of a ``layout: "flat"`` artifact.
+
+    Sums the uncompressed NPZ member sizes by catalog prefix — exactly
+    the bytes ``mmap=True`` maps for each catalog — and surfaces the
+    entry/irregular counts recorded in ``catalogs.meta.json``.  Also
+    back-fills per-catalog rows into ``catalogs`` so the flat layout
+    reports the same markov/degrees breakdown the legacy one did (with
+    mapped bytes standing in for file bytes).
+    """
+    import zipfile
+
+    meta = _read_json(directory / CATALOG_META_FILE)
+    mapped: dict[str, int] = {}
+    try:
+        with zipfile.ZipFile(directory / CATALOG_ARRAYS_FILE) as archive:
+            for info in archive.infolist():
+                prefix = info.filename.split("::", 1)[0]
+                mapped[prefix] = mapped.get(prefix, 0) + info.file_size
+    except (OSError, zipfile.BadZipFile):
+        mapped = {}
+    report: dict[str, dict] = {}
+    for name in ("markov", "degrees", "sumrdf"):
+        catalog_meta = meta.get(name)
+        if catalog_meta is None:
+            continue
+        entry: dict = {
+            "mapped_bytes": mapped.get(name, 0),
+            "mapped_human": human_bytes(mapped.get(name, 0)),
+        }
+        if "entries" in catalog_meta:
+            entry["entries"] = int(catalog_meta["entries"]) + len(
+                catalog_meta.get("irregular", [])
+            )
+        irregular = catalog_meta.get("irregular")
+        if irregular is not None:
+            entry["irregular"] = len(irregular)
+        report[name] = entry
+        catalogs.setdefault(
+            name,
+            {
+                "file": CATALOG_ARRAYS_FILE,
+                "bytes": 0,  # counted once under "catalogs"
+                **{
+                    k: entry[k]
+                    for k in ("mapped_bytes", "mapped_human", "entries")
+                    if k in entry
+                },
+            },
+        )
     return report
 
 

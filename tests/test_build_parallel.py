@@ -20,10 +20,9 @@ from repro.stats.build import StatsBuildConfig, build_statistics
 PRESETS = [("hetionet", 0.03), ("epinions", 0.03)]
 
 COMPARED_FILES = [
-    "markov.json",
-    "degrees.json",
+    "catalogs.npz",
+    "catalogs.meta.json",
     "characteristic_sets.json",
-    "sumrdf.npz",
 ]
 
 

@@ -1,0 +1,402 @@
+"""Shared-memory statistics plane: publish/attach, refcounts, chaos.
+
+The zero-copy tentpole's acceptance surface:
+
+* one process publishes a statistics image, any number attach the same
+  pages and serve floats bit-identical to a disk parse;
+* the segment lifecycle is pid-refcounted: the last process out unlinks
+  the ``/dev/shm`` entry, dead registrants (SIGKILL) are pruned, a dead
+  builder's claim is stolen;
+* a live fleet reloading a new artifact generation parses it from disk
+  exactly once per host (the peers attach), a SIGKILL'd worker's
+  restart attaches instead of re-parsing and serves bit-identical
+  floats, and a drain leaves zero ``/dev/shm`` entries behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.presets import running_example_graph
+from repro.errors import DatasetError
+from repro.query.parser import parse_pattern
+from repro.server import FleetClient, StoreRegistry, wait_until_ready
+from repro.stats import StatisticsStore, StatsBuildConfig, build_statistics
+from repro.stats.flatpack import store_from_image, store_to_image
+from repro.stats.shm import (
+    PID_SLOTS,
+    PID_TABLE_OFFSET,
+    SharedArtifactPlane,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+QUERIES = [
+    "a -[A]-> b -[B]-> c",
+    "x -[B]-> y -[C]-> z",
+    "u -[B]-> v, u -[B]-> w",
+]
+SPECS = ["max-hop-max", "all-hops-avg", "MOLP"]
+
+
+@pytest.fixture()
+def artifact_dir(tmp_path):
+    store = build_statistics(
+        running_example_graph(),
+        StatsBuildConfig(h=2, molp_h=2),
+        dataset_name="example",
+    )
+    store.save(tmp_path / "art")
+    return tmp_path / "art"
+
+
+@pytest.fixture()
+def plane(tmp_path):
+    root = tmp_path / "shm"
+    root.mkdir()
+    return SharedArtifactPlane(root)
+
+
+def estimates_of(store):
+    """Query-major (estimate, error) cells — the bit-identity probe."""
+    batch = store.session().estimate_batch(
+        [parse_pattern(text) for text in QUERIES], specs=SPECS
+    )
+    return [(item.estimate, item.error) for item in batch.items]
+
+
+def segment_pids(plane, key):
+    """The live pid refcount table of a segment, straight off the file."""
+    raw = plane._image_path(key).read_bytes()
+    table = struct.unpack_from(f"<{PID_SLOTS}q", raw, PID_TABLE_OFFSET)
+    return [pid for pid in table if pid != 0]
+
+
+class TestPlaneUnit:
+    def test_publish_then_attach_bit_identical(self, plane, artifact_dir):
+        key = plane.store_key(artifact_dir)
+        disk = StatisticsStore.load(artifact_dir)
+        meta, arrays, publisher = plane.acquire(
+            key, lambda: store_to_image(StatisticsStore.load(artifact_dir))
+        )
+        attacher = plane.try_attach(key)
+        assert attacher is not None
+        try:
+            # Raw array bytes shared verbatim — stronger than value
+            # equality: the attach pays no decode at all.
+            attached = attacher.arrays()
+            assert set(attached) == set(arrays)
+            for name, array in arrays.items():
+                np.testing.assert_array_equal(array, attached[name])
+            shared = store_from_image(attacher.meta, attached)
+            assert estimates_of(shared) == estimates_of(disk)
+        finally:
+            attacher.close()
+            publisher.close()
+
+    def test_last_close_unlinks_segment(self, plane, artifact_dir):
+        key = plane.store_key(artifact_dir)
+        _, _, first = plane.acquire(
+            key, lambda: store_to_image(StatisticsStore.load(artifact_dir))
+        )
+        second = plane.try_attach(key)
+        assert plane.segments(), "segment should exist while registered"
+        second.close()
+        assert plane.segments(), "first registrant still holds the segment"
+        first.close()
+        assert plane.segments() == [], "last close must unlink"
+
+    def test_key_tracks_artifact_generation(
+        self, plane, artifact_dir, tmp_path
+    ):
+        assert plane.store_key(artifact_dir) == plane.store_key(artifact_dir)
+        other = tmp_path / "other"
+        shutil.copytree(artifact_dir, other)
+        # Same content at a different path is a different segment (the
+        # digest covers the resolved path), and rewriting the manifest —
+        # what a delta/compaction does — rolls the key at a fixed path.
+        assert plane.store_key(artifact_dir) != plane.store_key(other)
+        before = plane.store_key(other)
+        manifest = other / "manifest.json"
+        manifest.write_text(manifest.read_text() + "\n")
+        assert plane.store_key(other) != before
+
+    def test_dead_builders_claim_is_stolen(self, plane, artifact_dir):
+        key = plane.store_key(artifact_dir)
+        # A pid that existed and is gone: a subprocess already reaped.
+        proc = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(proc.stdout.strip())
+        (plane.root / f"repro-clm-{key}").write_text(str(dead_pid))
+        assert plane.try_attach(key) is None  # steals, does not hang
+        assert not (plane.root / f"repro-clm-{key}").exists()
+        _, _, handle = plane.acquire(
+            key, lambda: store_to_image(StatisticsStore.load(artifact_dir))
+        )
+        assert plane.publishes == 1
+        handle.close()
+        assert plane.segments() == []
+
+    def test_sigkilled_registrant_is_pruned(self, plane, artifact_dir):
+        key = plane.store_key(artifact_dir)
+        _, _, parent_handle = plane.acquire(
+            key, lambda: store_to_image(StatisticsStore.load(artifact_dir))
+        )
+        pid = os.fork()
+        if pid == 0:  # child: register, then hang until SIGKILLed
+            try:
+                handle = plane.try_attach(key)
+                if handle is not None:
+                    signal.pause()
+            finally:
+                os._exit(1)
+        try:
+            deadline = time.monotonic() + 10.0
+            while pid not in segment_pids(plane, key):
+                assert time.monotonic() < deadline, "child never registered"
+                time.sleep(0.02)
+        finally:
+            os.kill(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+        # The dead child's slot is pruned on the next table mutation;
+        # the parent is then the last registrant and unlinks on close.
+        parent_handle.close()
+        assert plane.segments() == []
+
+
+class TestRegistrySharing:
+    def test_second_registry_attaches_instead_of_parsing(
+        self, plane, artifact_dir
+    ):
+        from repro.stats.store import parse_count
+
+        first = StoreRegistry(plane=plane)
+        entry_one = first.load("t", artifact_dir)
+        parses_before = parse_count()
+        second = StoreRegistry(plane=plane)
+        entry_two = second.load("t", artifact_dir)
+        assert parse_count() == parses_before, (
+            "the attaching registry must not touch the artifact files"
+        )
+        assert plane.publishes == 1 and plane.attaches == 1
+        assert entry_one.shm is not None and entry_two.shm is not None
+        assert estimates_of(entry_one.store) == estimates_of(entry_two.store)
+        first.release_shared()
+        second.release_shared()
+        assert plane.segments() == []
+
+    def test_plane_failure_falls_back_to_disk(self, artifact_dir, tmp_path):
+        registry = StoreRegistry(
+            plane=SharedArtifactPlane(tmp_path / "not-a-dir")
+        )
+        entry = registry.load("t", artifact_dir)
+        assert entry.shm is None
+        assert estimates_of(entry.store) == estimates_of(
+            StatisticsStore.load(artifact_dir)
+        )
+
+    def test_invalid_artifact_still_raises_dataset_error(
+        self, plane, tmp_path
+    ):
+        registry = StoreRegistry(plane=plane)
+        with pytest.raises(DatasetError):
+            registry.load("t", tmp_path / "nope")
+        assert plane.segments() == [], "a failed build must not leak"
+
+
+# ----------------------------------------------------------------------
+# Live fleet chaos (subprocess `repro serve --workers N`)
+# ----------------------------------------------------------------------
+WORKERS = 2
+
+
+class ShmFleet:
+    """A fleet subprocess with its shared plane rooted in a tmp dir."""
+
+    def __init__(self, artifact_dir: Path, shm_root: Path):
+        self.shm_root = shm_root
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--tenant", f"t1={artifact_dir}",
+                "--tenant", f"t2={artifact_dir}",
+                "--port", "0",
+                "--workers", str(WORKERS),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(SRC),
+                "REPRO_SHM_DIR": str(shm_root),
+            },
+            text=True,
+        )
+        self.events: list[dict] = []
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._read, daemon=True)
+        self._reader.start()
+        self.ready = self.wait_event(lambda e: e["event"] == "ready", 60.0)
+        self.host = self.ready["host"]
+        self.port = self.ready["port"]
+        wait_until_ready(self.host, self.port, timeout=30.0)
+
+    def _read(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            line = line.strip()
+            if line:
+                with self._lock:
+                    self.events.append(json.loads(line))
+
+    def wait_event(self, predicate, timeout: float) -> dict:
+        deadline = time.monotonic() + timeout
+        seen = 0
+        while time.monotonic() < deadline:
+            with self._lock:
+                fresh = self.events[seen:]
+                seen = len(self.events)
+            for event in fresh:
+                if predicate(event):
+                    return event
+            time.sleep(0.02)
+        raise AssertionError(
+            f"fleet event did not arrive in {timeout}s; saw {self.events}"
+        )
+
+    def worker_pids(self) -> dict[int, int]:
+        pids = {w["index"]: w["pid"] for w in self.ready["workers"]}
+        with self._lock:
+            for event in self.events:
+                if event["event"] == "worker-started":
+                    pids[event["index"]] = event["pid"]
+        return pids
+
+    def finish(self, timeout: float = 30.0) -> tuple[int, str]:
+        self.proc.wait(timeout=timeout)
+        self._reader.join(5.0)
+        stderr = self.proc.stderr.read() if self.proc.stderr else ""
+        return self.proc.returncode, stderr
+
+    def cleanup(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=5)
+        if self.proc.stdout:
+            self.proc.stdout.close()
+        if self.proc.stderr:
+            self.proc.stderr.close()
+
+
+@pytest.fixture()
+def shm_fleet(artifact_dir, tmp_path):
+    shm_root = tmp_path / "shmroot"
+    shm_root.mkdir()
+    fleet = ShmFleet(artifact_dir, shm_root)
+    yield fleet
+    fleet.cleanup()
+
+
+def shm_entries(root: Path) -> list[str]:
+    return sorted(p.name for p in root.glob("repro-*"))
+
+
+def assert_bit_identical(client, reference, tenants=("t1", "t2")):
+    for tenant in tenants:
+        for index, text in enumerate(QUERIES):
+            served = client.estimate(tenant, text, SPECS)
+            for spec_index, spec in enumerate(SPECS):
+                expected, error = reference[index * len(SPECS) + spec_index]
+                if error is None:
+                    assert served["estimates"][spec] == expected
+                else:
+                    assert served["errors"][spec] == error
+
+
+class TestFleetShm:
+    def test_reload_parses_once_per_host(self, shm_fleet, artifact_dir):
+        reference = estimates_of(StatisticsStore.load(artifact_dir))
+        # Boot published exactly one image: t1 and t2 share the
+        # artifact, so the second tenant attached the first's segment.
+        assert len(shm_entries(shm_fleet.shm_root)) == 1
+        with FleetClient(shm_fleet.host, shm_fleet.port) as client:
+            assert_bit_identical(client, reference)
+            before = client.stats()["aggregate"]["artifact_plane"]
+            # Each worker fork-inherits the supervisor's single parse.
+            assert before["disk_parses"] == WORKERS
+            assert client.stats()["aggregate"]["memory"]["uss_kb_max"] > 0
+
+            # Reload both tenants onto a new artifact generation (same
+            # content, new path → new segment key): the whole fleet must
+            # pay exactly ONE disk parse, everyone else attaches.
+            moved = artifact_dir.parent / "art-v2"
+            shutil.copytree(artifact_dir, moved)
+            for tenant in ("t1", "t2"):
+                client.reload(tenant, path=str(moved))
+            after = client.stats()["aggregate"]["artifact_plane"]
+            assert after["disk_parses"] - before["disk_parses"] == 1
+            assert after["publishes"] - before["publishes"] == 1
+            assert after["attaches"] - before["attaches"] >= 2 * WORKERS - 1
+            assert_bit_identical(client, reference)
+            # Two segments while draining the old generation: the
+            # supervisor's fork-time registry still pins the boot image.
+            assert len(shm_entries(shm_fleet.shm_root)) == 2
+            client.shutdown()
+        code, stderr = shm_fleet.finish()
+        assert code == 0 and stderr == ""
+        assert shm_entries(shm_fleet.shm_root) == []
+
+    def test_sigkill_mid_reload_restarted_worker_attaches(
+        self, shm_fleet, artifact_dir
+    ):
+        reference = estimates_of(StatisticsStore.load(artifact_dir))
+        pids = shm_fleet.worker_pids()
+        with FleetClient(shm_fleet.host, shm_fleet.port) as client:
+            # Fire a reload storm and SIGKILL a worker while it lands.
+            def storm():
+                with FleetClient(shm_fleet.host, shm_fleet.port) as inner:
+                    for _ in range(4):
+                        try:
+                            inner.reload("t1")
+                        except Exception:
+                            pass  # the dying worker may drop a call
+
+            thread = threading.Thread(target=storm)
+            thread.start()
+            os.kill(pids[0], signal.SIGKILL)
+            thread.join(60.0)
+            assert not thread.is_alive()
+            shm_fleet.wait_event(
+                lambda e: e["event"] == "worker-started", 60.0
+            )
+            wait_until_ready(shm_fleet.host, shm_fleet.port, timeout=30.0)
+            # The restarted worker attached the host's published image
+            # (fork inheritance + reattach) and serves bit-identical
+            # floats on both tenants.
+            assert_bit_identical(client, reference)
+            client.shutdown()
+        code, stderr = shm_fleet.finish()
+        assert code == 0 and stderr == ""
+        # No leaked segments: the SIGKILL'd worker's registration was
+        # pruned by its peers, the drain released the rest.
+        assert shm_entries(shm_fleet.shm_root) == []

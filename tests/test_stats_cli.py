@@ -49,8 +49,11 @@ class TestStatsBuild:
         assert summary["complete"] is True
         assert summary["markov_entries"] > 0
         assert (out_dir / "manifest.json").exists()
-        assert (out_dir / "markov.json").exists()
-        assert (out_dir / "sumrdf.npz").exists()
+        # Builds default to the mmap-able flat layout: one aligned NPZ
+        # of catalog arrays plus its metadata, no per-catalog JSON.
+        assert (out_dir / "catalogs.npz").exists()
+        assert (out_dir / "catalogs.meta.json").exists()
+        assert not (out_dir / "markov.json").exists()
 
     def test_inspect_reports_manifest_and_sizes(self, capsys, artifact_dir):
         code, out, _ = run_cli(capsys, "stats", "inspect", str(artifact_dir))
@@ -59,7 +62,8 @@ class TestStatsBuild:
         assert report["dataset_name"] == "example"
         assert report["format_version"] == 1
         assert report["total_bytes"] > 0
-        assert "markov.json" in report["files"]
+        assert "catalogs.npz" in report["files"]
+        assert report["mmap_capable"] is True
 
     def test_inspect_per_catalog_sizes_check_the_sub_mb_claim(
         self, capsys, artifact_dir
@@ -72,12 +76,18 @@ class TestStatsBuild:
         sizes = report["catalogs_sizes"]
         assert {"manifest", "markov", "degrees"} <= set(sizes)
         for catalog, entry in sizes.items():
-            assert entry["bytes"] > 0, catalog
-            assert entry["human"].split()[1] in ("B", "kB", "MB")
+            # Array-backed catalogs share one file; their own rows carry
+            # mapped_bytes instead (bytes counted once under "catalogs").
+            assert entry["bytes"] > 0 or entry["mapped_bytes"] > 0, catalog
+            if "human" in entry:
+                assert entry["human"].split()[1] in ("B", "kB", "MB")
         assert sizes["markov"]["entries"] > 0
         assert report["total_bytes"] == sum(
             entry["bytes"] for entry in sizes.values()
         )
+        flat = report["flat"]
+        assert flat["markov"]["mapped_bytes"] > 0
+        assert flat["degrees"]["mapped_bytes"] > 0
         assert report["total_human"].split()[1] in ("B", "kB", "MB")
         assert report["sub_mb"] is (report["total_bytes"] < 1_000_000)
         assert report["sub_mb"] is True  # the example artifact is tiny

@@ -302,8 +302,17 @@ class TestStorePersistence:
         with pytest.raises(DatasetError, match="manifest.json"):
             StatisticsStore.load(empty)
 
-    def test_load_missing_sumrdf_npz_is_friendly(self, saved):
+    def test_load_missing_catalog_arrays_is_friendly(self, saved):
         _, directory = saved
+        (directory / "catalogs.npz").unlink()
+        with pytest.raises(DatasetError, match="catalogs.npz"):
+            StatisticsStore.load(directory)
+
+    def test_load_missing_sumrdf_npz_is_friendly(self, saved, tmp_path):
+        # The legacy layout's friendly error stays intact.
+        store, _ = saved
+        directory = tmp_path / "legacy"
+        store.save(directory, layout="json")
         (directory / "sumrdf.npz").unlink()
         with pytest.raises(DatasetError, match="sumrdf.npz"):
             StatisticsStore.load(directory)
