@@ -142,7 +142,16 @@ class _KeyIndex:
         if probe is None or len(probe) > self.width:
             return None
         position = int(np.searchsorted(self.keys, probe))
-        if position < len(self) and self.keys[position] == probe:
+        # numpy hands back ``S`` items with trailing nulls stripped (an
+        # ``np.bytes_``, whose ``==`` against raw bytes is strict), so a
+        # probe whose final atom ends in 0x00 (label_id+1 divisible by
+        # 256) would never compare equal to its own stored form.  Strip
+        # the probe the same way: valid encodings lose at most one
+        # content null (see :func:`decode_canonical_key`), so stripped
+        # forms are still unique.
+        if position < len(self) and bytes(self.keys[position]) == probe.rstrip(
+            b"\x00"
+        ):
             return position
         return None
 

@@ -196,15 +196,27 @@ class SegmentHandle:
                 out.remove(me)
             except ValueError:
                 pass
+            if not out:
+                # Unlink while still holding the flock so a peer that
+                # just opened the path cannot register between our
+                # zero-count read and the unlink — and only if the path
+                # still names this mapping's inode: a rename-over
+                # republish may have put a newer image at this name
+                # that other processes rely on.
+                try:
+                    here = os.stat(self.path)
+                    mine = os.fstat(self._fd)
+                    if (here.st_ino, here.st_dev) == (
+                        mine.st_ino,
+                        mine.st_dev,
+                    ):
+                        self.path.unlink()
+                except OSError:
+                    pass
             return out
 
         try:
-            remaining = self._mutate_pids(drop_one)
-            if remaining == 0:
-                try:
-                    self.path.unlink()
-                except OSError:
-                    pass
+            self._mutate_pids(drop_one)
         except (OSError, ValueError):  # pragma: no cover - racing unlink
             pass
         try:
@@ -285,6 +297,7 @@ class SharedArtifactPlane:
             fd = os.open(path, os.O_RDWR)
         except OSError:
             return None
+        buf = None
         try:
             size = os.fstat(fd).st_size
             if size < HEADER_BYTES:
@@ -306,7 +319,12 @@ class SharedArtifactPlane:
             handle = SegmentHandle(path, fd, buf, meta)
             handle.register()
             return handle
-        except (OSError, ValueError):
+        except (OSError, ValueError, struct.error):
+            if buf is not None:
+                try:
+                    buf.close()
+                except (BufferError, ValueError):  # pragma: no cover
+                    pass
             os.close(fd)
             return None
 
@@ -416,10 +434,14 @@ class SharedArtifactPlane:
             array = np.ascontiguousarray(arrays[name])
             plans.append((name, array))
         meta_blob = b""
-        # Two passes: array offsets depend on the meta length, which
-        # includes the offsets.  Fix the meta size with a first render,
-        # then pad it to a stable length.
-        for _ in range(2):
+        # Array offsets depend on the meta length, which includes the
+        # offsets themselves.  Re-render until the meta stops growing:
+        # offsets are monotonically nondecreasing in the meta length, so
+        # this converges (usually in two rounds).  A render that comes
+        # back no longer than the length the offsets were computed from
+        # is safe as-is — the data region can only start at or past
+        # where it was planned.
+        while True:
             index = []
             data_start = HEADER_BYTES + len(meta_blob)
             data_start += -data_start % _ALIGN
@@ -438,8 +460,16 @@ class SharedArtifactPlane:
                 offset += int(array.nbytes)
             payload = dict(meta)
             payload["__arrays__"] = index
-            meta_blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+            rendered = json.dumps(payload, sort_keys=True).encode("utf-8")
+            converged = len(rendered) <= len(meta_blob)
+            meta_blob = rendered
+            if converged:
+                break
         total = offset
+        if index and HEADER_BYTES + len(meta_blob) > index[0]["offset"]:
+            raise DatasetError(
+                "shared statistics meta overlaps array data"
+            )  # pragma: no cover - guarded by the convergence loop
         path = self._image_path(key)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         fd = os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)

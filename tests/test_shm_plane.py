@@ -36,6 +36,7 @@ from repro.server import FleetClient, StoreRegistry, wait_until_ready
 from repro.stats import StatisticsStore, StatsBuildConfig, build_statistics
 from repro.stats.flatpack import store_from_image, store_to_image
 from repro.stats.shm import (
+    HEADER_BYTES,
     PID_SLOTS,
     PID_TABLE_OFFSET,
     SharedArtifactPlane,
@@ -105,6 +106,38 @@ class TestPlaneUnit:
         finally:
             attacher.close()
             publisher.close()
+
+    def test_publish_meta_growth_never_overlaps_arrays(self, plane):
+        # 200 tiny arrays: once the meta precedes the data, ~93 of the
+        # first render's 4-digit offsets become 5-digit, growing the
+        # second render past the <=63-byte alignment slack a fixed
+        # two-pass offset scheme could absorb.  The publisher must keep
+        # re-rendering until the meta stops growing, or the first
+        # array's bytes overwrite the meta tail and attachers fail the
+        # JSON parse (observed as try_attach returning None and every
+        # worker re-parsing from disk).
+        key = "meta-growth-regression00"
+        arrays = {
+            f"grow::{i:03d}": np.array([float(i)], dtype=np.float64)
+            for i in range(200)
+        }
+        _, _, publisher = plane.acquire(
+            key, lambda: ({"kind": "probe"}, arrays)
+        )
+        attacher = plane.try_attach(key)
+        assert attacher is not None, "published meta must survive the write"
+        try:
+            entries = attacher.meta["__arrays__"]
+            raw = plane._image_path(key).read_bytes()
+            meta_len = struct.unpack_from("<q", raw, 24)[0]
+            assert entries[0]["offset"] >= HEADER_BYTES + meta_len
+            attached = attacher.arrays()
+            for name, array in arrays.items():
+                np.testing.assert_array_equal(attached[name], array)
+        finally:
+            attacher.close()
+            publisher.close()
+        assert plane.segments() == []
 
     def test_last_close_unlinks_segment(self, plane, artifact_dir):
         key = plane.store_key(artifact_dir)

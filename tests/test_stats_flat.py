@@ -97,6 +97,51 @@ class TestFlatLayout:
         )
 
 
+class TestWideVocab:
+    """Vocabularies past 255 labels pack atoms whose trailing byte is
+    0x00 (``label_id + 1`` divisible by 256); numpy strips those nulls
+    from stored ``S`` items, so lookup must compare stripped forms."""
+
+    VOCAB = tuple(f"L{i:03d}" for i in range(300))
+
+    def test_key_index_finds_every_key(self):
+        from repro.stats.flatpack import (
+            _KeyIndex,
+            _pack_sorted,
+            encode_canonical_key,
+        )
+
+        label_ids = {label: i for i, label in enumerate(self.VOCAB)}
+        keys = [((0, 1, label),) for label in self.VOCAB]
+        packed, order = _pack_sorted(
+            [encode_canonical_key(key, label_ids) for key in keys]
+        )
+        index = _KeyIndex(packed, list(self.VOCAB))
+        for key in keys:  # notably L255: label_id + 1 == 256
+            assert index.find(key) is not None, f"lost {key}"
+        assert index.find(((0, 1, "unknown"),)) is None
+
+    def test_complete_markov_round_trips_wide_vocab(self):
+        from repro.catalog.markov import MarkovTable
+        from repro.query.canonical import canonical_key
+        from repro.stats.flatpack import markov_from_flat, markov_to_flat
+
+        patterns = {
+            label: parse_pattern(f"a -[{label}]-> b") for label in self.VOCAB
+        }
+        table = MarkovTable(None, h=1, labels=self.VOCAB, complete=True)
+        table._cache = {
+            canonical_key(patterns[label]): float(i + 1)
+            for i, label in enumerate(self.VOCAB)
+        }
+        meta, arrays = markov_to_flat(table)
+        loaded = markov_from_flat(meta, arrays)
+        # A complete graph-free table answers misses with 0.0 — so a
+        # lookup regression here serves silently-wrong estimates.
+        for i, label in enumerate(self.VOCAB):
+            assert loaded.cardinality(patterns[label]) == float(i + 1)
+
+
 class TestRepackCli:
     def run_cli(self, capsys, *argv):
         code = main(list(argv))
