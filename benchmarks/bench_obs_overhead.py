@@ -1,0 +1,247 @@
+"""Telemetry overhead benchmark: tracing + metrics on vs off.
+
+PR 9's acceptance gate: the observability plane (request tracing, the
+NDJSON trace sink, stage histograms, the sampled audit probe) must be
+cheap enough that **p99 with telemetry on stays ≤ 1.10× the disabled
+baseline** under the committed open-loop load (800 req/s, Zipf shape
+mix, every response verified bit-identical against the in-process
+session — telemetry must never perturb a served float).
+
+Two legs over identical fresh servers on the same artifact:
+
+* **off** — ``ServerConfig(telemetry=False)``: no traces, no sink, no
+  slow-query capture, no audit probe.  The metrics registry itself
+  stays on (it replaces the server's always-on request accounting), so
+  this is the honest "PR 8 server" baseline, not a lobotomised one.
+* **on** — tracing enabled, a real ``--trace-log`` sink on disk, the
+  default 500 ms slow-query threshold, and the audit probe sampling 5%
+  of served estimates against WanderJoin ground truth.
+
+The open-loop p99 on a shared machine is dominated by scheduler noise
+(identical back-to-back baseline legs bounce between 2 ms and 30 ms),
+so a single-pair comparison is a coin flip.  Each config therefore
+runs N interleaved repeats and the gate compares **min-of-N p99**:
+noise is strictly additive, so the minimum approximates the noise-free
+tail of each config, and every repeat's p99 is reported alongside for
+transparency.  The audit histogram must come back non-empty, the
+metrics verb must parse as Prometheus text exposition with monotonic
+counters across two scrapes, and the trace log must be well-formed
+NDJSON.
+
+Runs standalone: ``python benchmarks/bench_obs_overhead.py [--quick]
+[--json PATH]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_server_load import (  # noqa: E402
+    build_artifacts,
+    expected_estimates,
+    identity_sweep,
+    open_loop_load,
+)
+
+from repro.obs import parse_exposition  # noqa: E402
+from repro.server import (  # noqa: E402
+    EstimationClient,
+    ServerConfig,
+    StoreRegistry,
+    ThreadedServer,
+)
+
+#: p99(on) / p99(off) must stay under this in full mode.
+P99_RATIO_GATE = 1.10
+#: Quick mode is for smoke only: tiny samples make tails meaningless.
+P99_RATIO_GATE_QUICK = 2.0
+AUDIT_RATE = 0.05
+
+
+def run_leg(
+    artifact: Path,
+    expected: dict,
+    requests: int,
+    rate: float,
+    workers: int,
+    telemetry: bool,
+    trace_log: str | None,
+    seed: int,
+    collect: bool = False,
+) -> tuple[dict, dict]:
+    """One (telemetry on|off) leg on a fresh server; (load, extras)."""
+    registry = StoreRegistry()
+    registry.load("example", artifact)
+    config = ServerConfig(
+        port=0,
+        max_inflight=8,
+        queue_limit=max(requests, 128),
+        telemetry=telemetry,
+        trace_log=trace_log if telemetry else None,
+        audit_rate=AUDIT_RATE if telemetry else 0.0,
+    )
+    with ThreadedServer(registry, config) as threaded:
+        host, port = threaded.host, threaded.port
+        if telemetry:
+            # Pay the probe's one-time reference-graph load at setup:
+            # mid-traffic it is a long GIL-holding stretch that would
+            # pollute the steady-state tail this benchmark measures.
+            assert threaded.server.telemetry.audit.prewarm("example")
+        identity_sweep(host, port, expected)  # warm both legs equally
+        load = open_loop_load(
+            host, port, expected, requests, rate, workers, seed=seed
+        )
+        extras: dict = {}
+        if not collect:
+            return load, extras
+        with EstimationClient(host, port) as client:
+            first = client.metrics()
+            exposition = parse_exposition(first["exposition"])
+            assert (
+                exposition.value("repro_requests_total", verb="estimate")
+                >= requests
+            ), "metrics lost requests"
+            second = parse_exposition(client.metrics()["exposition"])
+            assert second.value("repro_requests_total", verb="metrics") > (
+                exposition.value("repro_requests_total", verb="metrics")
+            ), "request counter must be monotonic across scrapes"
+        if telemetry:
+            audit = threaded.server.telemetry.audit
+            audit.drain(timeout=60.0)
+            audited = parse_exposition(
+                threaded.server.metrics_result()["exposition"]
+            )
+            samples = audited.family("repro_audit_samples_total")
+            q_error_counts = {
+                dict(labels)["estimator"]: value
+                for labels, value in audited.family(
+                    "repro_audit_q_error_count"
+                ).items()
+            }
+            assert samples, "audit probe produced no samples"
+            assert q_error_counts, "audit probe published no q-error buckets"
+            extras["audit"] = {
+                "rate": AUDIT_RATE,
+                "samples": {
+                    dict(labels)["estimator"]: value
+                    for labels, value in samples.items()
+                },
+                "q_error_observations": q_error_counts,
+                "dropped": audited.value("repro_audit_dropped_total"),
+            }
+            extras["trace_records"] = audited.value(
+                "repro_trace_records_total"
+            )
+    return load, extras
+
+
+def verify_trace_log(path: Path, minimum: int) -> int:
+    """Every line parses as a JSON record with a trace id and spans."""
+    records = 0
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert record["trace_id"] and record["type"] in (
+            "trace", "slow_query",
+        )
+        assert isinstance(record["spans"], list)
+        records += 1
+    assert records >= minimum, (
+        f"trace log holds {records} records, expected >= {minimum}"
+    )
+    return records
+
+
+def run(quick: bool = False) -> dict:
+    requests = 400 if quick else 4000
+    rate = 400.0 if quick else 800.0
+    workers = 8 if quick else 16
+    gate = P99_RATIO_GATE_QUICK if quick else P99_RATIO_GATE
+    repeats = 2 if quick else 5
+    with tempfile.TemporaryDirectory(prefix="bench-obs-") as tmp:
+        artifact, _v2 = build_artifacts(Path(tmp))
+        expected = expected_estimates(artifact)
+        trace_log = Path(tmp) / "trace.ndjson"
+        # Interleave off/on repeats so both configs sample the same
+        # machine weather, then compare min-of-N p99 per config (see
+        # module docstring).  Scrape/audit assertions run once, on the
+        # final telemetry leg.
+        legs: dict[str, list[dict]] = {"off": [], "on": []}
+        extras: dict = {}
+        for repeat in range(repeats):
+            seed = 7 + repeat
+            last = repeat == repeats - 1
+            off_load, _ = run_leg(
+                artifact, expected, requests, rate, workers,
+                telemetry=False, trace_log=None, seed=seed,
+            )
+            on_load, on_extras = run_leg(
+                artifact, expected, requests, rate, workers,
+                telemetry=True, trace_log=str(trace_log), seed=seed,
+                collect=last,
+            )
+            legs["off"].append(off_load)
+            legs["on"].append(on_load)
+            if last:
+                extras = on_extras
+        best = {
+            name: min(loads, key=lambda load: load["latency_ms"]["p99"])
+            for name, loads in legs.items()
+        }
+        ratio = (
+            best["on"]["latency_ms"]["p99"]
+            / best["off"]["latency_ms"]["p99"]
+        )
+        trace_records = verify_trace_log(
+            trace_log, minimum=requests // 2
+        )
+    result = {
+        "benchmark": "obs_overhead",
+        "mode": "quick" if quick else "full",
+        "requests_per_leg": requests,
+        "target_rate_rps": rate,
+        "repeats_per_config": repeats,
+        "all_bit_identical": True,  # asserted inside open_loop_load
+        "telemetry_off": best["off"],
+        "telemetry_on": best["on"],
+        "p99_samples_ms": {
+            name: [load["latency_ms"]["p99"] for load in loads]
+            for name, loads in legs.items()
+        },
+        "p99_ratio_on_vs_off": ratio,
+        "p99_ratio_gate": gate,
+        "p50_ratio_on_vs_off": (
+            best["on"]["latency_ms"]["p50"]
+            / best["off"]["latency_ms"]["p50"]
+        ),
+        "trace_log_records": trace_records,
+        **extras,
+        "ok": ratio <= gate,
+    }
+    return result
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke run (lenient tail gate)")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the result JSON to this path")
+    args = parser.parse_args()
+    result = run(quick=args.quick)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.json is not None:
+        args.json.write_text(text + "\n", encoding="utf-8")
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -830,6 +830,28 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "statistics plane (one parsed artifact image "
                              "per host) and give every worker its own "
                              "private parse")
+    parser.add_argument("--trace-log", default=None, metavar="PATH",
+                        help="write per-request trace + slow-query records "
+                             "as NDJSON to PATH (rotated to PATH.1 at 32 MiB; "
+                             "append-safe across fleet workers; default: no "
+                             "trace log)")
+    parser.add_argument("--slow-query-ms", type=float, default=500.0,
+                        help="capture requests slower than this in the "
+                             "slow-query log (default 500)")
+    parser.add_argument("--audit-rate", type=float, default=0.0,
+                        help="fraction of served estimates the background "
+                             "audit probe re-runs against WanderJoin ground "
+                             "truth, publishing per-estimator q-error "
+                             "histograms (default 0 = off)")
+    parser.add_argument("--audit-tenant", default=None, metavar="NAME",
+                        help="restrict the audit probe to one reference "
+                             "tenant (default: any tenant whose manifest "
+                             "names a loadable dataset)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="disable request tracing, the trace log, "
+                             "slow-query capture and the audit probe "
+                             "(metrics counters stay on; the overhead "
+                             "benchmark's baseline)")
     return parser
 
 
@@ -875,6 +897,11 @@ def run_serve(argv: list[str]) -> int:
             max_inflight=args.max_inflight,
             queue_limit=args.queue_limit,
             default_deadline_ms=args.deadline_ms,
+            telemetry=not args.no_telemetry,
+            trace_log=args.trace_log,
+            slow_query_ms=args.slow_query_ms,
+            audit_rate=args.audit_rate,
+            audit_tenant=args.audit_tenant,
         )
     except ValueError as error:
         print(f"repro serve: {error}", file=sys.stderr)
@@ -977,6 +1004,10 @@ def build_query_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stats", action="store_true",
                         help="print the server's stats snapshot instead of "
                              "estimating")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the server's metrics as Prometheus text "
+                             "exposition (fleet-merged when the server runs "
+                             "workers) instead of estimating")
     parser.add_argument("--reload", metavar="DIR", default=None,
                         dest="reload_path", nargs="?", const="",
                         help="hot-reload --tenant from DIR (or its current "
@@ -1007,6 +1038,7 @@ def run_query(argv: list[str]) -> int:
     indent = 2 if args.indent else None
     modes = [
         bool(args.stats),
+        bool(args.metrics),
         args.reload_path is not None,
         bool(args.apply_deltas),
         bool(args.shutdown),
@@ -1014,8 +1046,8 @@ def run_query(argv: list[str]) -> int:
     ]
     if sum(modes) != 1:
         print(
-            "repro query: choose exactly one of --stats, --reload, "
-            "--apply-deltas, --shutdown, or queries (-q/--file)",
+            "repro query: choose exactly one of --stats, --metrics, "
+            "--reload, --apply-deltas, --shutdown, or queries (-q/--file)",
             file=sys.stderr,
         )
         return 2
@@ -1037,6 +1069,11 @@ def run_query(argv: list[str]) -> int:
         ) as client:
             if args.stats:
                 print(json.dumps(client.stats(), indent=indent))
+                return 0
+            if args.metrics:
+                # Raw Prometheus text, scrapeable as-is: pipe it to a
+                # file and point a Prometheus textfile collector at it.
+                print(client.metrics().get("exposition", ""), end="")
                 return 0
             if args.shutdown:
                 print(json.dumps(client.shutdown(), indent=indent))

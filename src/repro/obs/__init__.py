@@ -1,0 +1,53 @@
+"""Observability plane: metrics registry, request tracing, audit probe.
+
+``repro.obs`` is the telemetry layer the serving stack (``repro.server``)
+threads through every request:
+
+* :mod:`repro.obs.metrics` — labelled counters/gauges/fixed-bucket
+  histograms with Prometheus text exposition, parsing, and fleet-wide
+  merging;
+* :mod:`repro.obs.tracing` — per-request ``trace_id`` + span
+  collection and the rotating NDJSON trace/slow-query sink;
+* :mod:`repro.obs.audit` — the sampled WanderJoin ground-truth q-error
+  probe (the accuracy sensor of ROADMAP item 5);
+* :mod:`repro.obs.telemetry` — the per-process bundle tying the three
+  together behind one on/off switch.
+
+Nothing here imports ``repro.server``; the dependency points one way.
+"""
+
+from repro.obs.audit import AuditProbe, shape_class
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    Q_ERROR_BUCKETS,
+    Counter,
+    Exposition,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_expositions,
+    parse_exposition,
+    quantile_from_buckets,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.tracing import NdjsonSink, RequestTrace, Span, new_trace_id
+
+__all__ = [
+    "LATENCY_BUCKETS_MS",
+    "Q_ERROR_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Exposition",
+    "parse_exposition",
+    "merge_expositions",
+    "quantile_from_buckets",
+    "NdjsonSink",
+    "RequestTrace",
+    "Span",
+    "new_trace_id",
+    "AuditProbe",
+    "shape_class",
+    "Telemetry",
+]

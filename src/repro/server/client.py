@@ -208,12 +208,15 @@ class EstimationClient:
         estimators: Iterable[str] = ("max-hop-max",),
         deadline_ms: float | None = None,
         request_id: Any = None,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         """Estimate one query under one or more estimator configs.
 
         Returns the result object: ``estimates`` maps estimator name to
         the float (bit-identical to the in-process session value), and
-        ``errors`` maps failed estimators to their error strings.
+        ``errors`` maps failed estimators to their error strings.  With
+        telemetry on, the result also echoes the request's ``trace_id``
+        (server-minted when none is supplied) and per-stage ``timings``.
         """
         payload: dict[str, Any] = {
             "v": protocol.PROTOCOL_VERSION,
@@ -226,11 +229,28 @@ class EstimationClient:
             payload["deadline_ms"] = deadline_ms
         if request_id is not None:
             payload["id"] = request_id
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
         return self.call(payload)
 
     def stats(self) -> dict[str, Any]:
         """The server's introspection snapshot (``stats`` verb)."""
         return self.call({"v": protocol.PROTOCOL_VERSION, "verb": "stats"})
+
+    def metrics(self, trace_id: str | None = None) -> dict[str, Any]:
+        """The Prometheus text exposition (``metrics`` verb).
+
+        Against a fleet, the entry worker fans the scrape out and the
+        result carries both the per-worker slots and a merged
+        ``exposition`` whose counters/histograms sum across workers.
+        """
+        payload: dict[str, Any] = {
+            "v": protocol.PROTOCOL_VERSION,
+            "verb": "metrics",
+        }
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        return self.call(payload)
 
     def ping(self) -> dict[str, Any]:
         """Liveness check; returns the registered tenant names."""
@@ -371,6 +391,10 @@ class FleetClient:
     def stats(self) -> dict[str, Any]:
         """Fleet-wide aggregated stats (fanned out by the entry worker)."""
         return self._seed.stats()
+
+    def metrics(self) -> dict[str, Any]:
+        """Fleet-wide merged metrics exposition via the shared port."""
+        return self._seed.metrics()
 
     def fleet(self) -> dict[str, Any]:
         """The fleet topology snapshot."""

@@ -25,10 +25,11 @@ multi-threaded code can use it directly.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, TypeVar
 
-__all__ = ["CoalescerStats", "SingleFlight"]
+__all__ = ["CoalescerStats", "FlightOutcome", "SingleFlight"]
 
 T = TypeVar("T")
 
@@ -56,15 +57,35 @@ class CoalescerStats:
         }
 
 
+@dataclass(frozen=True)
+class FlightOutcome:
+    """What one :meth:`SingleFlight.run` caller got, and how.
+
+    ``shared_ref`` is whatever reference the leader published while
+    computing (the serving stack publishes its CEG-build *span*
+    reference, so follower traces point at the leader's work instead of
+    fabricating a build span of their own); ``wait_seconds`` is how
+    long a follower blocked on the leader (0.0 for the leader itself).
+    """
+
+    value: Any
+    leader: bool
+    wait_seconds: float = 0.0
+    shared_ref: str | None = None
+
+
 class _Call:
     """Shared state of one in-flight computation."""
 
-    __slots__ = ("done", "value", "error")
+    __slots__ = ("done", "value", "error", "ref")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.value: Any = None
         self.error: BaseException | None = None
+        #: Leader-published reference followers read after ``done`` —
+        #: written before the event is set, so the read is ordered.
+        self.ref: str | None = None
 
 
 class SingleFlight:
@@ -83,6 +104,19 @@ class SingleFlight:
         block until it finishes and receive the same result (or the
         same raised exception).
         """
+        return self.run(key, lambda publish_ref: fn()).value
+
+    def run(
+        self, key: Hashable, fn: Callable[[Callable[[str], None]], T]
+    ) -> FlightOutcome:
+        """Like :meth:`do`, but reporting *how* the value was obtained.
+
+        ``fn`` receives a ``publish_ref(ref)`` callable: the leader may
+        call it (any time before it returns) to attach an opaque
+        reference to the in-flight computation, which every follower
+        gets back as :attr:`FlightOutcome.shared_ref`.  Followers never
+        run ``fn``.
+        """
         with self._lock:
             call = self._inflight.get(key)
             if call is None:
@@ -94,12 +128,23 @@ class SingleFlight:
                 self._followers += 1
                 is_leader = False
         if not is_leader:
+            waited = time.perf_counter()
             call.done.wait()
+            waited = time.perf_counter() - waited
             if call.error is not None:
                 raise call.error
-            return call.value
+            return FlightOutcome(
+                call.value,
+                leader=False,
+                wait_seconds=waited,
+                shared_ref=call.ref,
+            )
+
+        def publish_ref(ref: str) -> None:
+            call.ref = ref
+
         try:
-            call.value = fn()
+            call.value = fn(publish_ref)
         except BaseException as error:
             call.error = error
             raise
@@ -107,7 +152,7 @@ class SingleFlight:
             with self._lock:
                 self._inflight.pop(key, None)
             call.done.set()
-        return call.value
+        return FlightOutcome(call.value, leader=True, shared_ref=call.ref)
 
     def stats(self) -> CoalescerStats:
         """Snapshot the leader/follower counters."""

@@ -82,12 +82,17 @@ MAX_LINE_BYTES = 1_000_000
 VERBS = (
     "estimate",
     "stats",
+    "metrics",
     "reload",
     "apply_deltas",
     "ping",
     "fleet",
     "shutdown",
 )
+
+#: Upper bound on a client-supplied ``trace_id`` (they land verbatim in
+#: log lines and metrics labels, so keep them short and single-line).
+MAX_TRACE_ID_CHARS = 64
 
 #: Request scopes: None (default — fleet-wide fan-out of control verbs)
 #: or "local" (answer from the worker holding the connection only).
@@ -179,11 +184,32 @@ class Request:
     path: str | None = None
     allow_fingerprint_change: bool = False
     scope: str | None = None
+    #: Client-supplied trace id, echoed in the response and propagated
+    #: across fleet fan-out; the server mints one when absent.
+    trace_id: str | None = None
 
     @property
     def local(self) -> bool:
         """Whether the request is pinned to the accepting worker."""
         return self.scope == "local"
+
+
+def _parse_trace_id(payload: dict) -> str | None:
+    trace_id = payload.get("trace_id")
+    if trace_id is None:
+        return None
+    if (
+        not isinstance(trace_id, str)
+        or not trace_id
+        or len(trace_id) > MAX_TRACE_ID_CHARS
+        or any(ch in trace_id for ch in "\n\r\"\\")
+    ):
+        raise ProtocolError(
+            INVALID_REQUEST,
+            "'trace_id' must be a non-empty single-line string of at "
+            f"most {MAX_TRACE_ID_CHARS} characters",
+        )
+    return trace_id
 
 
 def _require_str(payload: dict, key: str, verb: str) -> str:
@@ -229,6 +255,7 @@ def parse_request(line: str | bytes) -> Request:
             f"unknown verb {verb!r}; expected one of {VERBS}",
         )
     request_id = payload.get("id")
+    trace_id = _parse_trace_id(payload)
     scope = payload.get("scope")
     if scope not in SCOPES:
         raise ProtocolError(
@@ -261,6 +288,7 @@ def parse_request(line: str | bytes) -> Request:
             estimators=tuple(estimators_raw),
             deadline_ms=deadline_ms,
             scope=scope,
+            trace_id=trace_id,
         )
     if verb == "reload":
         path = payload.get("path")
@@ -277,6 +305,7 @@ def parse_request(line: str | bytes) -> Request:
                 payload.get("allow_fingerprint_change", False)
             ),
             scope=scope,
+            trace_id=trace_id,
         )
     if verb == "apply_deltas":
         return Request(
@@ -284,9 +313,11 @@ def parse_request(line: str | bytes) -> Request:
             id=request_id,
             tenant=_require_str(payload, "tenant", verb),
             scope=scope,
+            trace_id=trace_id,
         )
-    # stats / ping / fleet / shutdown carry no operands beyond scope.
-    return Request(verb=verb, id=request_id, scope=scope)
+    # stats / metrics / ping / fleet / shutdown carry no operands
+    # beyond scope.
+    return Request(verb=verb, id=request_id, scope=scope, trace_id=trace_id)
 
 
 def ok_response(request_id: Any, result: dict[str, Any]) -> dict[str, Any]:

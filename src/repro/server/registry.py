@@ -24,6 +24,7 @@ regenerated" escape hatch).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field, replace
 from datetime import datetime, timezone
 from pathlib import Path
@@ -59,6 +60,9 @@ class TenantEntry:
     session: EstimationSession
     generation: int
     loaded_at: str = field(default_factory=_utc_now)
+    #: ``time.monotonic()`` at publication — the clock behind the
+    #: ``generation_age_seconds`` staleness signal (wall-clock-safe).
+    loaded_monotonic: float = field(default_factory=time.monotonic)
     #: The shared-memory segment this entry's arrays view into (a
     #: :class:`repro.stats.shm.SegmentHandle`), or None for a private
     #: disk parse.  Kept on the entry so the mapping outlives every
@@ -81,6 +85,9 @@ class TenantEntry:
             "base_fingerprint": manifest.base_fingerprint,
             "artifact_generation": manifest.generation,
             "last_reload_at": self.loaded_at,
+            "generation_age_seconds": round(
+                time.monotonic() - self.loaded_monotonic, 3
+            ),
             "last_delta_at": manifest.last_delta_at,
             "h": manifest.h,
             "molp_h": manifest.molp_h,

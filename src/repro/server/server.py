@@ -44,12 +44,23 @@ import socket as socket_module
 import threading
 import time
 from collections import Counter
+from datetime import datetime, timezone
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import DatasetError, ReproError
+from repro.obs import (
+    LATENCY_BUCKETS_MS,
+    AuditProbe,
+    MetricsRegistry,
+    NdjsonSink,
+    RequestTrace,
+    Telemetry,
+    merge_expositions,
+    quantile_from_buckets,
+)
 from repro.query.canonical import canonical_key
 from repro.query.parser import parse_pattern
 from repro.query.pattern import QueryPattern
@@ -64,10 +75,19 @@ from repro.stats.store import parse_count as stats_parse_count
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.server.fleet import FleetContext
 
-__all__ = ["ServerConfig", "EstimationServer", "ThreadedServer"]
+__all__ = [
+    "ServerConfig",
+    "EstimationServer",
+    "ThreadedServer",
+    "LATENCY_BUCKETS_MS",
+]
 
-#: Latency histogram bucket upper bounds, in milliseconds.
-LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+def _server_version() -> str:
+    """The package version (resolved lazily to dodge the import cycle)."""
+    import repro
+
+    return getattr(repro, "__version__", "0")
 
 
 @dataclass(frozen=True)
@@ -82,6 +102,26 @@ class ServerConfig:
     #: Seconds :meth:`EstimationServer.stop` waits for admitted requests
     #: to drain before force-closing connections.
     shutdown_grace_seconds: float = 10.0
+    #: Master telemetry switch: False drops request tracing, the trace
+    #: log, slow-query capture and the audit probe (the bench baseline).
+    #: The metrics registry itself stays on — it replaces the server's
+    #: request accounting, so the stats/metrics verbs always work.
+    telemetry: bool = True
+    #: NDJSON sink for trace + slow-query records (None = no sink).
+    trace_log: str | None = None
+    trace_log_max_bytes: int = 32 * 1024 * 1024
+    #: Requests slower than this are captured in the slow-query log
+    #: (default 500 ms — ~200× the fleet's warm p50, so it fires on
+    #: genuine outliers, not on every cold CEG build).
+    slow_query_ms: float = 500.0
+    #: Fraction of served estimates re-run against WanderJoin ground
+    #: truth by the background audit probe (0 disables it).
+    audit_rate: float = 0.0
+    #: Restrict auditing to one reference tenant (None audits any
+    #: tenant whose manifest names a loadable dataset).
+    audit_tenant: str | None = None
+    #: WanderJoin walk budget as a fraction of the start relation.
+    audit_walk_ratio: float = 0.05
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -90,67 +130,12 @@ class ServerConfig:
             raise ValueError("queue_limit must be >= 0")
         if self.default_deadline_ms <= 0:
             raise ValueError("default_deadline_ms must be positive")
-
-
-class _LatencyHistogram:
-    """Fixed-bucket latency histogram (counts per ``<= bound`` bucket)."""
-
-    def __init__(self) -> None:
-        self._counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
-        self._sum_ms = 0.0
-        self._max_ms = 0.0
-
-    def observe(self, seconds: float) -> None:
-        ms = seconds * 1000.0
-        self._sum_ms += ms
-        self._max_ms = max(self._max_ms, ms)
-        for position, bound in enumerate(LATENCY_BUCKETS_MS):
-            if ms <= bound:
-                self._counts[position] += 1
-                return
-        self._counts[-1] += 1
-
-    def as_dict(self) -> dict[str, Any]:
-        buckets = {
-            f"<={bound}ms": count
-            for bound, count in zip(LATENCY_BUCKETS_MS, self._counts)
-        }
-        buckets[f">{LATENCY_BUCKETS_MS[-1]}ms"] = self._counts[-1]
-        return {
-            "buckets": buckets,
-            "sum_ms": self._sum_ms,
-            "max_ms": self._max_ms,
-        }
-
-
-@dataclass
-class _TenantMetrics:
-    """Request accounting for one tenant (mutated on the loop only)."""
-
-    requests: int = 0
-    ok: int = 0
-    errors: Counter = field(default_factory=Counter)
-    estimator_errors: int = 0
-    latency: _LatencyHistogram = field(default_factory=_LatencyHistogram)
-
-    def observe(self, response: dict[str, Any], seconds: float) -> None:
-        self.requests += 1
-        self.latency.observe(seconds)
-        if response.get("ok"):
-            self.ok += 1
-            if response["result"].get("errors"):
-                self.estimator_errors += 1
-        else:
-            self.errors[response["error"]["code"]] += 1
-
-    def as_dict(self) -> dict[str, Any]:
-        return {
-            "requests": self.requests,
-            "ok": self.ok,
-            "errors": dict(self.errors),
-            "responses_with_estimator_errors": self.estimator_errors,
-            "latency_ms": self.latency.as_dict(),
-        }
+        if self.slow_query_ms <= 0:
+            raise ValueError("slow_query_ms must be positive")
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ValueError("audit_rate must be within [0, 1]")
+        if self.trace_log_max_bytes < 4096:
+            raise ValueError("trace_log_max_bytes must be >= 4096")
 
 
 class EstimationServer:
@@ -196,14 +181,201 @@ class EstimationServer:
         self._abandoned = 0
         self._shed_total = 0
         self._deadline_total = 0
-        self._verb_counts: Counter = Counter()
-        self._tenant_metrics: dict[str, _TenantMetrics] = {}
+        self._started_unix = 0.0
+        self._started_at_iso: str | None = None
+        self.telemetry = self._build_telemetry()
         self._writers: set[asyncio.StreamWriter] = set()
         # Writers with a request currently inside ``_dispatch`` — the
         # connections that must see a typed ``shutting_down`` error (not
         # a bare reset) if the shutdown grace window expires on them.
         self._busy_writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Telemetry wiring
+    # ------------------------------------------------------------------
+    def _build_telemetry(self) -> Telemetry:
+        """The per-process telemetry bundle + callback-sourced metrics.
+
+        Built in ``__init__`` — which fleet workers run *post-fork* —
+        so every process opens its own trace-log fd and owns its own
+        registry.  Counters owned elsewhere (coalescer, artifact plane,
+        admission state) export through render-time callbacks instead
+        of double accounting.
+        """
+        config = self.config
+        sink = (
+            NdjsonSink(config.trace_log, config.trace_log_max_bytes)
+            if config.telemetry and config.trace_log
+            else None
+        )
+        registry = MetricsRegistry()
+        audit = None
+        if config.telemetry and config.audit_rate > 0.0:
+            audit = AuditProbe(
+                registry,
+                self._audit_graph,
+                rate=config.audit_rate,
+                tenant=config.audit_tenant,
+                walk_ratio=config.audit_walk_ratio,
+            )
+        telemetry = Telemetry(
+            registry=registry,
+            sink=sink,
+            slow_query_ms=config.slow_query_ms,
+            audit=audit,
+            enabled=config.telemetry,
+            worker_index=self.fleet.index if self.fleet else None,
+        )
+        self._tenant_requests = registry.counter(
+            "repro_tenant_requests_total",
+            "Estimate requests per tenant.",
+            labels=("tenant",),
+        )
+        self._tenant_ok = registry.counter(
+            "repro_tenant_ok_total",
+            "Served estimate responses per tenant.",
+            labels=("tenant",),
+        )
+        self._tenant_errors = registry.counter(
+            "repro_tenant_errors_total",
+            "Failed estimate responses per tenant, by wire error code.",
+            labels=("tenant", "code"),
+        )
+        self._tenant_estimator_errors = registry.counter(
+            "repro_tenant_estimator_errors_total",
+            "Served responses carrying at least one per-estimator error.",
+            labels=("tenant",),
+        )
+        self._tenant_reloads = registry.counter(
+            "repro_tenant_reloads_total",
+            "Successful hot reloads per tenant.",
+            labels=("tenant",),
+        )
+        self._tenant_delta_refreshes = registry.counter(
+            "repro_tenant_delta_refreshes_total",
+            "Successful apply_deltas refreshes per tenant.",
+            labels=("tenant",),
+        )
+        registry.counter(
+            "repro_coalescer_leaders_total",
+            "Single-flight computations run (leaders).",
+            callback=lambda: self.coalescer.stats().leaders,
+        )
+        registry.counter(
+            "repro_coalescer_followers_total",
+            "Single-flight callers served by a leader's result.",
+            callback=lambda: self.coalescer.stats().followers,
+        )
+        registry.gauge(
+            "repro_coalescer_in_flight",
+            "Single-flight keys currently computing.",
+            callback=lambda: self.coalescer.stats().in_flight,
+        )
+        registry.counter(
+            "repro_artifact_disk_parses_total",
+            "Statistics artifacts parsed from disk in this process.",
+            callback=stats_parse_count,
+        )
+        registry.counter(
+            "repro_artifact_plane_publishes_total",
+            "Artifact images published to the shared-memory plane.",
+            callback=lambda: (self.registry.plane_stats() or {}).get(
+                "publishes", 0
+            ),
+        )
+        registry.counter(
+            "repro_artifact_plane_attaches_total",
+            "Artifact images attached from the shared-memory plane.",
+            callback=lambda: (self.registry.plane_stats() or {}).get(
+                "attaches", 0
+            ),
+        )
+        registry.counter(
+            "repro_admission_shed_total",
+            "Requests shed at the admission capacity limit.",
+            callback=lambda: self._shed_total,
+        )
+        registry.counter(
+            "repro_admission_deadline_exceeded_total",
+            "Requests that exceeded their deadline (queue time included).",
+            callback=lambda: self._deadline_total,
+        )
+        registry.gauge(
+            "repro_admission_admitted",
+            "Requests currently admitted (running + queued).",
+            callback=lambda: self._admitted,
+        )
+        registry.gauge(
+            "repro_admission_running",
+            "Requests currently computing on the thread pool.",
+            callback=lambda: self._running,
+        )
+        registry.gauge(
+            "repro_admission_queue_depth",
+            "Admitted requests waiting for a pool slot.",
+            callback=lambda: max(self._admitted - self._running, 0),
+        )
+        registry.gauge(
+            "repro_admission_abandoned",
+            "Deadline-expired requests still holding a pool slot.",
+            callback=lambda: self._abandoned,
+        )
+        registry.gauge(
+            "repro_server_info",
+            "Constant 1, labelled with the server version.",
+            labels=("version",),
+            callback=lambda: {(_server_version(),): 1},
+        )
+        registry.gauge(
+            "repro_process_start_time_seconds",
+            "Unix time this serving process started.",
+            callback=lambda: self._started_unix,
+        )
+        registry.gauge(
+            "repro_uptime_seconds",
+            "Seconds since this serving process started.",
+            callback=lambda: (
+                time.monotonic() - self._started_at if self._started_at else 0.0
+            ),
+        )
+        registry.gauge(
+            "repro_generation_age_seconds",
+            "Seconds since each tenant's artifact generation was loaded.",
+            labels=("tenant",),
+            callback=self._generation_ages,
+        )
+        return telemetry
+
+    def _generation_ages(self) -> dict[tuple[str], float]:
+        ages: dict[tuple[str], float] = {}
+        for name in self.registry.names():
+            entry = self.registry.get(name)
+            if entry is not None:
+                ages[(name,)] = round(
+                    time.monotonic() - entry.loaded_monotonic, 3
+                )
+        return ages
+
+    def _audit_graph(self, tenant: str):
+        """Resolve the audit probe's reference graph for one tenant.
+
+        Runs on the probe thread; raises when the tenant's manifest does
+        not name a dataset the preset loader can materialise (the probe
+        then disables auditing for that tenant).
+        """
+        entry = self.registry.get(tenant)
+        if entry is None:
+            raise DatasetError(f"unknown audit tenant {tenant!r}")
+        manifest = entry.store.manifest
+        if not manifest.dataset_name:
+            raise DatasetError(
+                f"tenant {tenant!r} has no dataset_name in its manifest"
+            )
+        from repro.datasets.presets import load_dataset
+
+        scale = (manifest.build_config or {}).get("scale", 1.0)
+        return load_dataset(manifest.dataset_name, float(scale or 1.0))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -240,6 +412,10 @@ class EstimationServer:
                 )
             )
         self._started_at = time.monotonic()
+        self._started_unix = time.time()
+        self._started_at_iso = datetime.fromtimestamp(
+            self._started_unix, tz=timezone.utc
+        ).isoformat(timespec="seconds")
         return self.address
 
     @property
@@ -299,6 +475,7 @@ class EstimationServer:
         if pending:
             await asyncio.wait(pending, timeout=1.0)
         self._executor.shutdown(wait=True, cancel_futures=True)
+        self.telemetry.close()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -358,12 +535,14 @@ class EstimationServer:
 
     async def _dispatch(self, line: bytes) -> dict[str, Any]:
         started = time.perf_counter()
+        telemetry = self.telemetry
         try:
             request = protocol.parse_request(line)
         except ProtocolError as error:
-            self._verb_counts["_unparsed"] += 1
+            telemetry.requests_total.inc(verb="_unparsed")
             return protocol.error_response(None, error.code, error.message)
-        self._verb_counts[request.verb] += 1
+        telemetry.requests_total.inc(verb=request.verb)
+        trace = telemetry.begin(request.verb, request.tenant, request.trace_id)
         fan_wide = self.fleet is not None and not request.local
         try:
             if request.verb == "ping":
@@ -377,14 +556,21 @@ class EstimationServer:
                 )
             elif request.verb == "stats":
                 if fan_wide:
-                    response = await self._fan_out(request)
+                    response = await self._fan_out(request, trace)
                 else:
                     response = protocol.ok_response(
                         request.id, self.stats_result()
                     )
+            elif request.verb == "metrics":
+                if fan_wide:
+                    response = await self._fan_out(request, trace)
+                else:
+                    response = protocol.ok_response(
+                        request.id, self.metrics_result()
+                    )
             elif request.verb == "shutdown":
                 if fan_wide:
-                    response = await self._fan_out(request)
+                    response = await self._fan_out(request, trace)
                 else:
                     self._draining = True
                     self._pending_shutdown = True
@@ -393,16 +579,16 @@ class EstimationServer:
                     )
             elif request.verb == "reload":
                 if fan_wide:
-                    response = await self._fan_out(request)
+                    response = await self._fan_out(request, trace)
                 else:
                     response = await self._handle_reload(request)
             elif request.verb == "apply_deltas":
                 if fan_wide:
-                    response = await self._fan_out(request)
+                    response = await self._fan_out(request, trace)
                 else:
                     response = await self._handle_apply_deltas(request)
             else:
-                response = await self._handle_estimate(request)
+                response = await self._handle_estimate(request, trace)
         except ProtocolError as error:
             response = protocol.error_response(
                 request.id, error.code, error.message
@@ -413,21 +599,45 @@ class EstimationServer:
                 protocol.INTERNAL_ERROR,
                 f"{type(error).__name__}: {error}",
             )
+        elapsed = time.perf_counter() - started
         if (
             request.verb == "estimate"
             and request.tenant is not None
             and self.registry.get(request.tenant) is not None
         ):
-            metrics = self._tenant_metrics.setdefault(
-                request.tenant, _TenantMetrics()
-            )
-            metrics.observe(response, time.perf_counter() - started)
+            self._observe_estimate(request.tenant, response, elapsed)
+            if telemetry.audit is not None and response.get("ok"):
+                estimates = response["result"].get("estimates") or {}
+                if estimates and request.query is not None:
+                    telemetry.audit.maybe_sample(
+                        request.tenant, request.query, estimates
+                    )
+        telemetry.finish(trace, bool(response.get("ok")), elapsed)
         return response
+
+    def _observe_estimate(
+        self, tenant: str, response: dict[str, Any], seconds: float
+    ) -> None:
+        """Per-tenant request accounting (event-loop thread only)."""
+        self._tenant_requests.inc(tenant=tenant)
+        self.telemetry.request_latency.observe(
+            seconds * 1000.0, tenant=tenant
+        )
+        if response.get("ok"):
+            self._tenant_ok.inc(tenant=tenant)
+            if response["result"].get("errors"):
+                self._tenant_estimator_errors.inc(tenant=tenant)
+        else:
+            self._tenant_errors.inc(
+                tenant=tenant, code=response["error"]["code"]
+            )
 
     # ------------------------------------------------------------------
     # Verbs
     # ------------------------------------------------------------------
-    async def _handle_estimate(self, request: Request) -> dict[str, Any]:
+    async def _handle_estimate(
+        self, request: Request, trace: RequestTrace | None = None
+    ) -> dict[str, Any]:
         if self._draining:
             raise ProtocolError(
                 protocol.SHUTTING_DOWN, "server is shutting down"
@@ -444,7 +654,8 @@ class EstimationServer:
         self._admitted += 1
         try:
             return await asyncio.wait_for(
-                self._estimate_admitted(request), timeout=deadline_ms / 1000.0
+                self._estimate_admitted(request, trace),
+                timeout=deadline_ms / 1000.0,
             )
         except asyncio.TimeoutError:
             self._deadline_total += 1
@@ -456,8 +667,23 @@ class EstimationServer:
         finally:
             self._admitted -= 1
 
-    async def _estimate_admitted(self, request: Request) -> dict[str, Any]:
+    def _annotate(
+        self, result: dict[str, Any], trace: RequestTrace | None
+    ) -> dict[str, Any]:
+        """Echo the trace id + per-stage timings in a result envelope."""
+        if trace is not None:
+            result["trace_id"] = trace.trace_id
+            result["timings"] = {
+                f"{stage}_ms": ms
+                for stage, ms in trace.stage_totals().items()
+            }
+        return result
+
+    async def _estimate_admitted(
+        self, request: Request, trace: RequestTrace | None = None
+    ) -> dict[str, Any]:
         assert request.tenant is not None and request.query is not None
+        started = time.perf_counter()
         entry = self.registry.get(request.tenant)
         if entry is None:
             raise ProtocolError(
@@ -486,7 +712,17 @@ class EstimationServer:
                 entry.session.validate_spec(spec)
             except ValueError as error:
                 raise ProtocolError(protocol.UNSUPPORTED_SPEC, str(error))
-        started = time.perf_counter()
+        probe_start = time.perf_counter()
+        if trace is not None:
+            # ``store_lookup`` covers entry lookup + spec/pattern
+            # parsing + validation — everything between admission and
+            # the cache probe, so the top-level spans tile the window.
+            trace.add_span("store_lookup", started, probe_start - started)
+            trace.note(
+                shape=str(canonical_key(pattern)),
+                estimators=[spec.name for spec in specs],
+                generation=entry.generation,
+            )
         # Warm fast path: when every requested estimator is already in
         # the tenant's estimate LRU, answer on the event loop without
         # the executor round-trip.  The cached floats are the exact
@@ -494,29 +730,56 @@ class EstimationServer:
         # bit-identical; admission and deadline accounting still wrap
         # this call — only the thread hop (and a pool slot) is skipped.
         cached = entry.session.peek_estimates(pattern, specs)
+        if trace is not None:
+            trace.add_span(
+                "cache_probe",
+                probe_start,
+                time.perf_counter() - probe_start,
+            )
         if cached is not None:
             return protocol.ok_response(
                 request.id,
-                {
-                    "tenant": entry.name,
-                    "generation": entry.generation,
-                    "query": request.query,
-                    "estimates": cached,
-                    "errors": {},
-                    "seconds": time.perf_counter() - started,
-                },
+                self._annotate(
+                    {
+                        "tenant": entry.name,
+                        "generation": entry.generation,
+                        "query": request.query,
+                        "estimates": cached,
+                        "errors": {},
+                        "seconds": time.perf_counter() - started,
+                    },
+                    trace,
+                ),
             )
         assert self._semaphore is not None
         loop = asyncio.get_running_loop()
+        queue_start = time.perf_counter()
         await self._semaphore.acquire()
         self._running += 1
+        exec_start = time.perf_counter()
+        exec_span = None
+        if trace is not None:
+            trace.add_span("queue", queue_start, exec_start - queue_start)
+            # Opened here, closed when the executor round-trip returns;
+            # the worker thread parents its count/coalesce spans on it.
+            exec_span = trace.add_span("exec", exec_start, 0.0)
 
         def release_slot() -> None:
             self._running -= 1
             self._semaphore.release()
 
+        def close_exec_span() -> None:
+            if exec_span is not None:
+                exec_span.ms = (time.perf_counter() - exec_start) * 1000.0
+
         future = loop.run_in_executor(
-            self._executor, self._compute, entry, pattern, specs
+            self._executor,
+            self._compute,
+            entry,
+            pattern,
+            specs,
+            trace,
+            exec_span.span_id if exec_span is not None else None,
         )
         try:
             # Shielded so a deadline cancellation reaches *us*, not the
@@ -525,6 +788,7 @@ class EstimationServer:
             # immediately instead of when the thread actually finishes.
             estimates, errors = await asyncio.shield(future)
         except asyncio.CancelledError:
+            close_exec_span()
             if future.done():
                 release_slot()
             else:
@@ -544,19 +808,24 @@ class EstimationServer:
                 future.add_done_callback(on_done)
             raise
         except BaseException:
+            close_exec_span()
             release_slot()  # the computation itself raised; slot is free
             raise
         release_slot()
+        close_exec_span()
         return protocol.ok_response(
             request.id,
-            {
-                "tenant": entry.name,
-                "generation": entry.generation,
-                "query": request.query,
-                "estimates": estimates,
-                "errors": errors,
-                "seconds": time.perf_counter() - started,
-            },
+            self._annotate(
+                {
+                    "tenant": entry.name,
+                    "generation": entry.generation,
+                    "query": request.query,
+                    "estimates": estimates,
+                    "errors": errors,
+                    "seconds": time.perf_counter() - started,
+                },
+                trace,
+            ),
         )
 
     def _compute(
@@ -564,6 +833,8 @@ class EstimationServer:
         entry: TenantEntry,
         pattern: QueryPattern,
         specs: list[EstimatorSpec],
+        trace: RequestTrace | None = None,
+        exec_ref: str | None = None,
     ) -> tuple[dict[str, float], dict[str, str]]:
         """Worker-thread body: coalesced estimates for every spec.
 
@@ -572,15 +843,43 @@ class EstimationServer:
         requests served by a hot-reloaded one.  ``estimate_one``
         captures per-query data failures as values, so followers share
         the leader's error string exactly as they share its float.
+
+        With tracing on, a *leader* wraps the engine call in a
+        ``count`` span and publishes its reference through the
+        coalescer; a *follower* records only a ``coalesce`` wait span
+        carrying that shared reference — it never fabricates a build
+        span for work it did not do.
         """
         shape = canonical_key(pattern)
         estimates: dict[str, float] = {}
         errors: dict[str, str] = {}
         for spec in specs:
             key = (entry.name, entry.generation, shape, spec.name)
-            item = self.coalescer.do(
-                key, lambda: entry.session.estimate_one(pattern, spec)
-            )
+            if trace is None:
+                item = self.coalescer.do(
+                    key, lambda: entry.session.estimate_one(pattern, spec)
+                )
+            else:
+                wait_start = time.perf_counter()
+
+                def lead(publish_ref, spec=spec):
+                    with trace.span(
+                        "count", parent=exec_ref, estimator=spec.name
+                    ) as span:
+                        publish_ref(trace.ref(span))
+                        return entry.session.estimate_one(pattern, spec)
+
+                outcome = self.coalescer.run(key, lead)
+                item = outcome.value
+                if not outcome.leader:
+                    trace.add_span(
+                        "coalesce",
+                        wait_start,
+                        outcome.wait_seconds,
+                        parent=exec_ref,
+                        estimator=spec.name,
+                        shared=outcome.shared_ref,
+                    )
             if item.ok:
                 estimates[spec.name] = item.estimate
             else:
@@ -608,6 +907,7 @@ class EstimationServer:
             entry = await loop.run_in_executor(self._executor, work)
         except DatasetError as error:
             raise ProtocolError(protocol.RELOAD_FAILED, str(error))
+        self._tenant_reloads.inc(tenant=entry.name)
         return protocol.ok_response(
             request.id,
             {
@@ -643,6 +943,7 @@ class EstimationServer:
             entry, applied = await loop.run_in_executor(self._executor, work)
         except DatasetError as error:
             raise ProtocolError(protocol.RELOAD_FAILED, str(error))
+        self._tenant_delta_refreshes.inc(tenant=entry.name)
         return protocol.ok_response(
             request.id,
             {
@@ -658,7 +959,9 @@ class EstimationServer:
     # ------------------------------------------------------------------
     # Fleet fan-out
     # ------------------------------------------------------------------
-    async def _fan_out(self, request: Request) -> dict[str, Any]:
+    async def _fan_out(
+        self, request: Request, trace: RequestTrace | None = None
+    ) -> dict[str, Any]:
         """Fan a control verb out fleet-wide; one raw response per worker.
 
         The accepting worker answers its own slot inline (a TCP hop to
@@ -670,7 +973,7 @@ class EstimationServer:
         """
         assert self.fleet is not None
         loop = asyncio.get_running_loop()
-        payload = self._peer_payload(request)
+        payload = self._peer_payload(request, trace)
         futures = {
             member.index: loop.run_in_executor(
                 self._executor, self._peer_call, member.direct_port, payload
@@ -690,8 +993,20 @@ class EstimationServer:
             "ok": all_ok,
             "workers": workers,
         }
+        if trace is not None:
+            result["trace_id"] = trace.trace_id
         if request.verb == "stats":
             result["aggregate"] = _aggregate_fleet_stats(workers)
+        if request.verb == "metrics":
+            # Fleet-wide scrape: counters and histogram buckets sum
+            # across workers (a fleet counter equals the sum of its
+            # per-worker slots — the obs-smoke CI job asserts this).
+            result["exposition"] = merge_expositions(
+                slot["result"]["exposition"]
+                for slot in workers.values()
+                if slot.get("ok") and "exposition" in (slot.get("result") or {})
+            )
+            result["format"] = "prometheus-text-0.0.4"
         if request.verb == "shutdown":
             # Peers are draining; now schedule our own drain.  The flag
             # is consumed by the connection handler *after* this
@@ -701,13 +1016,20 @@ class EstimationServer:
             self._pending_shutdown = True
         return protocol.ok_response(request.id, result)
 
-    def _peer_payload(self, request: Request) -> dict[str, Any]:
+    def _peer_payload(
+        self, request: Request, trace: RequestTrace | None = None
+    ) -> dict[str, Any]:
         """The scope-local wire payload that replays ``request`` on a peer."""
         payload: dict[str, Any] = {
             "v": protocol.PROTOCOL_VERSION,
             "verb": request.verb,
             "scope": "local",
         }
+        # Propagate the fan-out's trace id so every worker's spans land
+        # under one id in a shared trace log.
+        trace_id = trace.trace_id if trace is not None else request.trace_id
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
         if request.tenant is not None:
             payload["tenant"] = request.tenant
         if request.path is not None:
@@ -742,6 +1064,8 @@ class EstimationServer:
         try:
             if request.verb == "stats":
                 return protocol.ok_response(None, self.stats_result())
+            if request.verb == "metrics":
+                return protocol.ok_response(None, self.metrics_result())
             if request.verb == "shutdown":
                 # Flags are set by _fan_out after the peers answered.
                 return protocol.ok_response(None, {"shutting_down": True})
@@ -773,20 +1097,73 @@ class EstimationServer:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def metrics_result(self) -> dict[str, Any]:
+        """The ``metrics`` verb payload: the Prometheus text exposition."""
+        result: dict[str, Any] = {
+            "exposition": self.telemetry.registry.render(),
+            "format": "prometheus-text-0.0.4",
+        }
+        if self.fleet is not None:
+            result["worker"] = {"index": self.fleet.index, "pid": os.getpid()}
+        return result
+
+    def _tenant_requests_dict(self, name: str) -> dict[str, Any]:
+        """One tenant's request accounting in the legacy stats shape.
+
+        Same keys the retired ``_TenantMetrics`` emitted — the stats
+        verb's contract — plus bucket-derived p50/p95/p99 quantiles.
+        """
+        errors = {
+            labels["code"]: int(value)
+            for labels, value in self._tenant_errors.items()
+            if labels["tenant"] == name and value
+        }
+        child = self.telemetry.request_latency.get_child(tenant=name)
+        bounds = self.telemetry.request_latency.buckets
+        counts = child.counts if child is not None else [0] * (len(bounds) + 1)
+        buckets = {
+            f"<={bound}ms": count
+            for bound, count in zip(LATENCY_BUCKETS_MS, counts)
+        }
+        buckets[f">{LATENCY_BUCKETS_MS[-1]}ms"] = counts[-1]
+        return {
+            "requests": int(self._tenant_requests.value(tenant=name)),
+            "ok": int(self._tenant_ok.value(tenant=name)),
+            "errors": errors,
+            "responses_with_estimator_errors": int(
+                self._tenant_estimator_errors.value(tenant=name)
+            ),
+            "latency_ms": {
+                "buckets": buckets,
+                "sum_ms": child.sum if child is not None else 0.0,
+                "max_ms": child.max if child is not None else 0.0,
+                "p50": quantile_from_buckets(bounds, counts, 0.50),
+                "p95": quantile_from_buckets(bounds, counts, 0.95),
+                "p99": quantile_from_buckets(bounds, counts, 0.99),
+            },
+        }
+
     def stats_result(self) -> dict[str, Any]:
         """The ``stats`` verb payload (also handy in-process)."""
         tenants = self.registry.stats()
         for name, payload in tenants.items():
-            metrics = self._tenant_metrics.get(name)
-            payload["requests"] = (
-                metrics.as_dict()
-                if metrics is not None
-                else _TenantMetrics().as_dict()
-            )
+            payload["requests"] = self._tenant_requests_dict(name)
+        by_verb = {
+            labels["verb"]: int(value)
+            for labels, value in self.telemetry.requests_total.items()
+            if value
+        }
         result: dict[str, Any] = {
             "uptime_seconds": (
                 time.monotonic() - self._started_at if self._started_at else 0.0
             ),
+            "server": {
+                "version": _server_version(),
+                "start_time": self._started_at_iso,
+                "start_time_unix": self._started_unix,
+                "pid": os.getpid(),
+            },
+            "telemetry": self.telemetry.describe(),
             "tenants": tenants,
             "admission": {
                 "max_inflight": self.config.max_inflight,
@@ -800,8 +1177,8 @@ class EstimationServer:
             },
             "coalescer": self.coalescer.stats().as_dict(),
             "requests": {
-                "total": sum(self._verb_counts.values()),
-                "by_verb": dict(self._verb_counts),
+                "total": sum(by_verb.values()),
+                "by_verb": by_verb,
             },
         }
         result["memory"] = _process_memory()

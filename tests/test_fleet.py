@@ -155,7 +155,12 @@ class TestRefreshIfStale:
 class FleetProcess:
     """A ``repro serve --workers N`` subprocess plus its event stream."""
 
-    def __init__(self, artifact_dir: Path, workers: int = 2):
+    def __init__(
+        self,
+        artifact_dir: Path,
+        workers: int = 2,
+        extra_args: list[str] | None = None,
+    ):
         self.proc = subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "serve",
@@ -163,6 +168,7 @@ class FleetProcess:
                 "--tenant", f"t2={artifact_dir}",
                 "--port", "0",
                 "--workers", str(workers),
+                *(extra_args or []),
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
@@ -402,3 +408,126 @@ class TestFleetChaos:
         returncode, stderr = fleet.finish()
         assert returncode == 0
         assert stderr == ""
+
+
+# ----------------------------------------------------------------------
+# Fleet observability: metrics fan-out + trace-id propagation
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def traced_fleet(artifact_dir, tmp_path):
+    trace_log = tmp_path / "fleet-trace.ndjson"
+    fleet = FleetProcess(
+        artifact_dir, workers=2, extra_args=["--trace-log", str(trace_log)]
+    )
+    yield fleet, trace_log
+    fleet.cleanup()
+
+
+class TestFleetObservability:
+    def test_metrics_fan_out_merges_worker_counters(self, traced_fleet):
+        from repro.obs import parse_exposition
+        from repro.server import EstimationClient
+
+        fleet, _trace_log = traced_fleet
+        with FleetClient(fleet.host, fleet.port) as client:
+            for tenant in ("t1", "t2"):
+                for text in QUERIES:
+                    client.estimate(tenant, text, ALL_SPECS)
+        with EstimationClient(fleet.host, fleet.port) as client:
+            result = client.metrics()
+        assert result["fleet"] is True
+        assert result["format"] == "prometheus-text-0.0.4"
+        assert len(result["workers"]) == 2
+        merged = parse_exposition(result["exposition"])
+        slots = [
+            parse_exposition(slot["result"]["exposition"])
+            for slot in result["workers"].values()
+            if slot.get("ok")
+        ]
+        assert len(slots) == 2
+        # Fleet-wide counters are exactly the sum of per-worker scrapes.
+        for tenant in ("t1", "t2"):
+            per_worker = sum(
+                slot.value("repro_tenant_requests_total", tenant=tenant)
+                for slot in slots
+            )
+            assert per_worker == len(QUERIES)
+            assert (
+                merged.value("repro_tenant_requests_total", tenant=tenant)
+                == per_worker
+            )
+            assert (
+                merged.value(
+                    "repro_request_latency_ms_count", tenant=tenant
+                )
+                == per_worker
+            )
+        assert merged.value(
+            "repro_requests_total", verb="estimate"
+        ) == sum(
+            slot.value("repro_requests_total", verb="estimate")
+            for slot in slots
+        )
+        # Gauges have no meaningful fleet-wide sum and stay per-worker.
+        assert merged.family("repro_admission_queue_depth") == {}
+        assert all(
+            ("repro_admission_queue_depth", ()) in slot.samples
+            for slot in slots
+        )
+
+    def test_one_trace_id_spans_routing_and_fanned_workers(
+        self, traced_fleet
+    ):
+        from repro.server import EstimationClient, protocol
+
+        fleet, trace_log = traced_fleet
+        trace_id = "fleet-fanout-trace-1"
+        with EstimationClient(fleet.host, fleet.port) as client:
+            response = client.request(
+                {
+                    "v": protocol.PROTOCOL_VERSION,
+                    "verb": "stats",
+                    "trace_id": trace_id,
+                }
+            )
+        assert response["ok"]
+        assert response["result"]["trace_id"] == trace_id
+        deadline = time.monotonic() + 15.0
+        pids: set[int] = set()
+        while time.monotonic() < deadline and len(pids) < 2:
+            if trace_log.exists():
+                pids = {
+                    record["pid"]
+                    for record in (
+                        json.loads(line)
+                        for line in trace_log.read_text().splitlines()
+                    )
+                    if record["trace_id"] == trace_id
+                }
+            time.sleep(0.05)
+        # The routing worker and the fanned-out peer each logged the
+        # same trace id from their own process.
+        assert len(pids) == 2, (
+            f"expected trace {trace_id!r} from 2 worker pids, got {pids}"
+        )
+
+    def test_estimate_traces_carry_worker_identity(self, traced_fleet):
+        fleet, trace_log = traced_fleet
+        with FleetClient(fleet.host, fleet.port) as client:
+            result = client.estimate("t1", QUERIES[0], ALL_SPECS)
+        assert result["trace_id"]
+        deadline = time.monotonic() + 15.0
+        record = None
+        while time.monotonic() < deadline and record is None:
+            if trace_log.exists():
+                for line in trace_log.read_text().splitlines():
+                    candidate = json.loads(line)
+                    if candidate["trace_id"] == result["trace_id"]:
+                        record = candidate
+                        break
+            time.sleep(0.05)
+        assert record is not None, "estimate trace never reached the log"
+        assert record["worker"] in (0, 1)
+        assert record["tenant"] == "t1"
+        names = {span["name"] for span in record["spans"]}
+        assert {"store_lookup", "cache_probe", "queue", "exec"} <= names
