@@ -144,10 +144,20 @@ def run_leg(
 
 
 def verify_trace_log(path: Path, minimum: int) -> int:
-    """Every line parses as a JSON record with a trace id and spans."""
+    """Every line parses as a well-formed NDJSON telemetry record.
+
+    Trace and slow-query records carry a trace id and a span list; the
+    audit probe's ``type: "audit"`` samples (PR 10) share the log and
+    carry the query, ground truth, and per-estimator q-errors instead.
+    """
     records = 0
     for line in path.read_text().splitlines():
         record = json.loads(line)
+        if record["type"] == "audit":
+            assert record["query"] and record["shape_class"]
+            assert record["truth"] >= 0.0
+            assert record["q_errors"], record
+            continue
         assert record["trace_id"] and record["type"] in (
             "trace", "slow_query",
         )

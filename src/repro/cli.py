@@ -18,6 +18,9 @@ Usage::
     python -m repro query --port 7421 --tenant example -q "a -[A]-> b"
     python -m repro query --port 7421 --tenant example --apply-deltas
     python -m repro query --port 7421 --stats
+    python -m repro obs summarize traces.ndjson
+    python -m repro obs spans traces.ndjson --top 5
+    python -m repro obs grep traces.ndjson --trace-id 4f2c...
 
 Each experiment prints its table; ``--out DIR`` additionally writes one
 ``.txt`` per experiment.  ``stats build`` bulk-builds every summary for
@@ -47,6 +50,13 @@ a versioned ``deltas/NNNN.json`` a live server picks up via ``query
 --apply-deltas``), ``replay`` verifies the delta lineage (and, with
 ``--verify``, bit-compares against a cold rebuild), and ``compact``
 folds a delta chain into the base files.
+
+The batch verbs (``stats build``, ``stats repack``, ``updates
+apply``/``replay``) share the offline observability flags
+``--trace-log`` / ``--trace-log-keep`` / ``--metrics-out``: job traces
+land in the same NDJSON shape the server writes and metrics land as a
+Prometheus textfile-collector exposition.  ``obs`` analyses those logs
+(either plane's): ``summarize`` / ``spans`` / ``audit`` / ``grep``.
 """
 
 from __future__ import annotations
@@ -357,6 +367,46 @@ def run_batch(argv: list[str]) -> int:
     return 0 if batch.ok else 1
 
 
+def _add_job_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """The offline-plane observability flags shared by the batch verbs.
+
+    ``repro stats build``, ``repro updates apply``/``replay`` and
+    ``repro stats repack`` all take the same three switches so one
+    ``repro obs`` toolkit (and one Prometheus textfile collector) reads
+    every plane's output.
+    """
+    parser.add_argument("--trace-log", default=None, metavar="PATH",
+                        help="append this job's trace record (per-level / "
+                             "per-generation spans) as NDJSON to PATH — the "
+                             "same record shape the server writes, readable "
+                             "by 'repro obs'")
+    parser.add_argument("--trace-log-keep", type=int, default=1, metavar="N",
+                        help="rotated trace-log generations to keep "
+                             "(PATH.1 .. PATH.N; default 1)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the job's metrics as a Prometheus "
+                             "textfile-collector exposition to PATH "
+                             "(atomic tmp+rename)")
+
+
+def _job_telemetry(args: argparse.Namespace, verb: str):
+    """A JobTelemetry when any observability flag is set, else None.
+
+    None keeps the un-instrumented path literally free — the builders
+    skip every telemetry hook on a None bundle.
+    """
+    from repro.obs.offline import JobTelemetry
+
+    if not args.trace_log and not args.metrics_out:
+        return None
+    return JobTelemetry(
+        verb,
+        trace_log=args.trace_log,
+        metrics_out=args.metrics_out,
+        trace_log_keep=args.trace_log_keep,
+    )
+
+
 def build_stats_parser() -> argparse.ArgumentParser:
     """The ``repro stats build`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -414,6 +464,7 @@ def build_stats_parser() -> argparse.ArgumentParser:
                         help="artifact directory to write")
     parser.add_argument("--indent", action="store_true",
                         help="pretty-print the JSON summary")
+    _add_job_telemetry_flags(parser)
     return parser
 
 
@@ -464,10 +515,7 @@ def run_stats(argv: list[str]) -> int:
         print(json.dumps(report, indent=2))
         return 0
     if argv[0] == "repack":
-        if len(argv) != 2:
-            print("repro stats repack: expected one DIR", file=sys.stderr)
-            return 2
-        return _run_stats_repack(Path(argv[1]))
+        return _run_stats_repack(argv[1:])
     args = build_stats_parser().parse_args(argv[1:])
     if args.cycle_rates and args.workload == "full":
         print(
@@ -494,6 +542,7 @@ def run_stats(argv: list[str]) -> int:
         cycle_seed=args.seed,
     )
     workload = _build_workload(args, graph)
+    telemetry = _job_telemetry(args, "stats.build")
     try:
         store = build_statistics(
             graph,
@@ -504,8 +553,16 @@ def run_stats(argv: list[str]) -> int:
             checkpoint_dir=args.out,
             resume=args.resume,
             stop_after_level=args.stop_after_level,
+            telemetry=telemetry,
         )
     except BuildInterrupted as event:
+        # The partial build's spans (completed levels, the checkpoint
+        # write) are still worth a record: finish the trace as not-ok so
+        # 'repro obs' can see what the interrupted run paid for.
+        if telemetry is not None:
+            telemetry.finish(
+                ok=False, event="build_interrupted", out=str(args.out)
+            )
         print(json.dumps({
             "event": "build_interrupted",
             "out": str(args.out),
@@ -514,10 +571,14 @@ def run_stats(argv: list[str]) -> int:
         }, indent=2 if args.indent else None))
         return 3
     except ReproError as error:
+        if telemetry is not None:
+            telemetry.finish(ok=False, error=str(error))
         print(f"repro stats build: {error}", file=sys.stderr)
         return 2
     store.manifest.build_config["scale"] = args.scale
     store.save(args.out)
+    if telemetry is not None:
+        telemetry.finish(ok=True, dataset=dataset_name, out=str(args.out))
     summary = {
         "out": str(args.out),
         "dataset": dataset_name,
@@ -541,13 +602,33 @@ def run_stats(argv: list[str]) -> int:
     return 0
 
 
-def _run_stats_repack(directory: Path) -> int:
+def build_stats_repack_parser() -> argparse.ArgumentParser:
+    """The ``repro stats repack`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats repack",
+        description=(
+            "Convert a legacy JSON-layout artifact to the flat "
+            "(mmap-capable) layout in place."
+        ),
+    )
+    parser.add_argument("directory", type=Path, metavar="DIR",
+                        help="statistics artifact directory to repack")
+    _add_job_telemetry_flags(parser)
+    return parser
+
+
+def _run_stats_repack(argv: list[str]) -> int:
     """Convert a legacy JSON-layout artifact to the flat layout in place."""
     from repro.stats.artifact import CATALOG_FILES, StoreManifest
 
+    args = build_stats_repack_parser().parse_args(argv)
+    directory = args.directory
+    telemetry = _job_telemetry(args, "stats.repack")
     try:
         manifest = StoreManifest.load(directory)
         if manifest.generation > manifest.compacted_generation:
+            if telemetry is not None:
+                telemetry.finish(ok=False, error="unfolded deltas")
             print(
                 f"repro stats repack: {directory} has "
                 f"{manifest.generation - manifest.compacted_generation} "
@@ -557,9 +638,17 @@ def _run_stats_repack(directory: Path) -> int:
                 file=sys.stderr,
             )
             return 2
+        load_began = time.perf_counter()
         store = StatisticsStore.load(directory)
+        save_began = time.perf_counter()
         store.save(directory, layout="flat")
+        save_done = time.perf_counter()
+        if telemetry is not None:
+            telemetry.trace.add_span("load", load_began, save_began - load_began)
+            telemetry.trace.add_span("save", save_began, save_done - save_began)
     except ReproError as error:
+        if telemetry is not None:
+            telemetry.finish(ok=False, error=str(error))
         print(f"repro stats repack: {error}", file=sys.stderr)
         return 2
     removed = []
@@ -568,13 +657,22 @@ def _run_stats_repack(directory: Path) -> int:
         if legacy.exists():
             legacy.unlink()
             removed.append(legacy.name)
+    total_bytes = inspect_artifact(directory)["total_bytes"]
+    if telemetry is not None:
+        telemetry.registry.gauge(
+            "repro_repack_total_bytes",
+            "Artifact size after repacking to the flat layout.",
+        ).set(total_bytes)
+        telemetry.finish(
+            ok=True, directory=str(directory), removed=len(removed)
+        )
     print(
         json.dumps(
             {
                 "directory": str(directory),
                 "layout": "flat",
                 "removed": removed,
-                "total_bytes": inspect_artifact(directory)["total_bytes"],
+                "total_bytes": total_bytes,
                 "mmap_capable": True,
             },
             indent=2,
@@ -614,6 +712,7 @@ def build_updates_apply_parser() -> argparse.ArgumentParser:
                              "report's ledger says so)")
     parser.add_argument("--indent", action="store_true",
                         help="pretty-print the JSON report")
+    _add_job_telemetry_flags(parser)
     return parser
 
 
@@ -639,6 +738,7 @@ def build_updates_replay_parser() -> argparse.ArgumentParser:
                         help="cold-rebuild the replayed graph and require "
                              "bit-identical catalogs (exit 1 on mismatch)")
     parser.add_argument("--indent", action="store_true")
+    _add_job_telemetry_flags(parser)
     return parser
 
 
@@ -682,10 +782,13 @@ def run_updates(argv: list[str]) -> int:
         return 0
     if argv[0] == "apply":
         args = build_updates_apply_parser().parse_args(argv[1:])
+        telemetry = _job_telemetry(args, "updates.apply")
         try:
             manifest = StoreManifest.load(args.stats_dir)
             _, _, base_graph = _updates_base_graph(args, manifest)
-            graph = replay_graph(base_graph, args.stats_dir)
+            graph = replay_graph(
+                base_graph, args.stats_dir, telemetry=telemetry
+            )
             store = StatisticsStore.load(args.stats_dir, graph=graph)
             batch = UpdateBatch.load(args.updates)
             outcome = apply_updates(
@@ -693,10 +796,15 @@ def run_updates(argv: list[str]) -> int:
                 batch,
                 directory=args.stats_dir,
                 compact_threshold=args.compact_threshold,
+                telemetry=telemetry,
             )
         except ReproError as error:
+            if telemetry is not None:
+                telemetry.finish(ok=False, error=str(error))
             print(f"repro updates apply: {error}", file=sys.stderr)
             return 2
+        if telemetry is not None:
+            telemetry.finish(ok=True, stats_dir=str(args.stats_dir))
         print(
             json.dumps(
                 outcome.as_dict(), indent=2 if args.indent else None
@@ -704,11 +812,14 @@ def run_updates(argv: list[str]) -> int:
         )
         return 0
     args = build_updates_replay_parser().parse_args(argv[1:])
+    telemetry = _job_telemetry(args, "updates.replay")
     try:
         manifest = StoreManifest.load(args.stats_dir)
         dataset, scale, base_graph = _updates_base_graph(args, manifest)
-        graph = replay_graph(base_graph, args.stats_dir)
+        graph = replay_graph(base_graph, args.stats_dir, telemetry=telemetry)
     except ReproError as error:
+        if telemetry is not None:
+            telemetry.finish(ok=False, error=str(error))
         print(f"repro updates replay: {error}", file=sys.stderr)
         return 2
     report = {
@@ -737,6 +848,8 @@ def run_updates(argv: list[str]) -> int:
         from repro.stats import build_statistics
 
         if manifest.build_config.get("mode") not in (None, "full"):
+            if telemetry is not None:
+                telemetry.finish(ok=False, error="workload-directed artifact")
             print(
                 "repro updates replay: --verify needs a full-enumeration "
                 "artifact (workload-directed builds have no recorded "
@@ -752,6 +865,8 @@ def run_updates(argv: list[str]) -> int:
                 dataset_name=manifest.dataset_name,
             )
         except ReproError as error:
+            if telemetry is not None:
+                telemetry.finish(ok=False, error=str(error))
             print(f"repro updates replay: {error}", file=sys.stderr)
             return 2
         checks = {
@@ -783,6 +898,13 @@ def run_updates(argv: list[str]) -> int:
         report["skipped"] = skipped
         if not all(checks.values()):
             exit_code = 1
+    if telemetry is not None:
+        telemetry.finish(
+            ok=exit_code == 0,
+            stats_dir=str(args.stats_dir),
+            generation=manifest.generation,
+            verified=args.verify,
+        )
     print(json.dumps(report, indent=2 if args.indent else None))
     return exit_code
 
@@ -832,12 +954,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "private parse")
     parser.add_argument("--trace-log", default=None, metavar="PATH",
                         help="write per-request trace + slow-query records "
-                             "as NDJSON to PATH (rotated to PATH.1 at 32 MiB; "
+                             "as NDJSON to PATH (size-rotated at 32 MiB; "
                              "append-safe across fleet workers; default: no "
                              "trace log)")
+    parser.add_argument("--trace-log-keep", type=int, default=1, metavar="N",
+                        help="rotated trace-log generations to keep "
+                             "(PATH.1 .. PATH.N, oldest discarded; "
+                             "default 1)")
     parser.add_argument("--slow-query-ms", type=float, default=500.0,
                         help="capture requests slower than this in the "
-                             "slow-query log (default 500)")
+                             "slow-query log (default 500; 0 disables "
+                             "slow-query capture entirely)")
     parser.add_argument("--audit-rate", type=float, default=0.0,
                         help="fraction of served estimates the background "
                              "audit probe re-runs against WanderJoin ground "
@@ -899,6 +1026,7 @@ def run_serve(argv: list[str]) -> int:
             default_deadline_ms=args.deadline_ms,
             telemetry=not args.no_telemetry,
             trace_log=args.trace_log,
+            trace_log_keep=args.trace_log_keep,
             slow_query_ms=args.slow_query_ms,
             audit_rate=args.audit_rate,
             audit_tenant=args.audit_tenant,
@@ -1153,6 +1281,80 @@ def run_query(argv: list[str]) -> int:
         return 3
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    """The ``repro obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description=(
+            "Analyse the observability plane's NDJSON logs (server "
+            "--trace-log output and the batch verbs' job traces): "
+            "'summarize' rolls up request counts and p50/p95/p99 "
+            "latency with the slow-query table, 'spans' profiles self "
+            "time per stage with coalesce fan-in and the top offenders, "
+            "'audit' reports the q-error distribution per estimator and "
+            "shape class, 'grep' reassembles one trace id across fleet "
+            "workers."
+        ),
+    )
+    parser.add_argument(
+        "command", choices=["summarize", "spans", "audit", "grep"],
+        help="which analysis to run",
+    )
+    parser.add_argument("logs", nargs="+", type=Path, metavar="LOG",
+                        help="NDJSON trace-log path(s); each path's "
+                             "rotated backups (LOG.1 .. LOG.N) are read "
+                             "too, oldest first")
+    parser.add_argument("--top", type=int, default=10, metavar="K",
+                        help="rows in the top-K tables (slow queries, "
+                             "span offenders, worst audits; default 10)")
+    parser.add_argument("--trace-id", default=None, metavar="ID",
+                        help="the trace to reassemble (grep only)")
+    parser.add_argument("--no-rotated", action="store_true",
+                        help="read only the named files, not their "
+                             "rotated backups")
+    parser.add_argument("--indent", action="store_true",
+                        help="pretty-print the JSON report")
+    return parser
+
+
+def run_obs(argv: list[str]) -> int:
+    """The ``repro obs`` subcommand; returns a process exit code."""
+    from repro.obs.analyze import (
+        audit_report,
+        grep_trace,
+        load_records,
+        span_profile,
+        summarize,
+    )
+
+    args = build_obs_parser().parse_args(argv)
+    if args.command == "grep" and not args.trace_id:
+        print("repro obs grep: --trace-id is required", file=sys.stderr)
+        return 2
+    missing = [
+        str(path) for path in args.logs
+        if not path.exists()
+        and not path.with_name(f"{path.name}.1").exists()
+    ]
+    if missing:
+        print(
+            f"repro obs: no such trace log: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    records = load_records(args.logs, include_rotated=not args.no_rotated)
+    if args.command == "summarize":
+        report = summarize(records, top=args.top)
+    elif args.command == "spans":
+        report = span_profile(records, top=args.top)
+    elif args.command == "audit":
+        report = audit_report(records, top=args.top)
+    else:
+        report = grep_trace(records, args.trace_id)
+    print(json.dumps(report, indent=2 if args.indent else None))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the selected experiment(s), stats/serve/query command, or batch."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -1166,6 +1368,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_serve(argv[1:])
     if argv and argv[0] == "query":
         return run_query(argv[1:])
+    if argv and argv[0] == "obs":
+        return run_obs(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -28,6 +28,7 @@ published store is never mutated while in-flight requests read it).
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -40,6 +41,7 @@ from repro.catalog.degrees import DegreeCatalog, StatRelation
 from repro.catalog.entropy import EntropyCatalog
 from repro.catalog.markov import MarkovTable
 from repro.errors import DatasetError, check_format_version
+from repro.obs.offline import JobTelemetry
 from repro.query.canonical import canonical_key
 from repro.stats.artifact import DELTAS_DIR, StoreManifest, delta_file_name
 
@@ -191,6 +193,7 @@ def replay_delta_chain(
     directory: str | Path,
     from_generation: int = 0,
     expected_fingerprint: str | None = None,
+    telemetry: JobTelemetry | None = None,
 ) -> int:
     """Verify a manifest's delta lineage and apply the unseen patches.
 
@@ -205,6 +208,11 @@ def replay_delta_chain(
     ``expected_fingerprint``, when given, asserts the chain passes
     through the store's current fingerprint at exactly
     ``from_generation``.  Returns the number of generations applied.
+
+    With ``telemetry``, every applied generation lands as a timed
+    ``generation`` span on the job trace plus a replayed-generations
+    counter — the per-generation visibility the offline ``repro obs``
+    toolkit reads.
     """
     fingerprint = manifest.base_fingerprint
     if (
@@ -247,6 +255,7 @@ def replay_delta_chain(
                 "(applied in-memory); reload from the base catalog files "
                 "instead"
             )
+        began = time.perf_counter()
         payload = read_delta(directory, str(file))
         if payload.get("generation") != generation:
             raise DatasetError(
@@ -255,6 +264,20 @@ def replay_delta_chain(
             )
         apply_delta_payload(store, payload, directory)
         applied += 1
+        if telemetry is not None:
+            telemetry.trace.add_span(
+                "generation",
+                began,
+                time.perf_counter() - began,
+                generation=generation,
+                file=str(file),
+                inserts=int(entry.get("inserts", 0)),
+                deletes=int(entry.get("deletes", 0)),
+            )
+            telemetry.registry.counter(
+                "repro_delta_replayed_generations_total",
+                "Delta generations re-derived during graph replay.",
+            ).inc()
     if manifest.deltas and fingerprint != manifest.dataset_fingerprint:
         raise DatasetError(
             f"delta chain ends at fingerprint {fingerprint} but the "

@@ -59,6 +59,7 @@ from repro.delta.updates import UpdateBatch
 from repro.engine.counter import count_pattern
 from repro.errors import DatasetError, PlanningError, ReproError
 from repro.graph.digraph import LabeledDiGraph
+from repro.obs.offline import JobTelemetry
 from repro.stats.artifact import (
     StoreManifest,
     dataset_fingerprint,
@@ -79,6 +80,64 @@ __all__ = [
 
 def _utc_now() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _lineage_age_seconds(applied_at: str | None) -> float | None:
+    """Seconds since an ISO ``applied_at`` lineage stamp (None if absent)."""
+    if not applied_at:
+        return None
+    try:
+        then = datetime.fromisoformat(applied_at)
+    except ValueError:
+        return None
+    if then.tzinfo is None:
+        then = then.replace(tzinfo=timezone.utc)
+    return max((datetime.now(timezone.utc) - then).total_seconds(), 0.0)
+
+
+def _observe_apply(
+    telemetry: JobTelemetry | None,
+    outcome: MaintenanceOutcome,
+    previous_applied_at: str | None,
+) -> None:
+    """Record one apply's IVM-vs-rebuild decision and lineage freshness."""
+    if telemetry is None:
+        return
+    registry = telemetry.registry
+    registry.counter(
+        "repro_delta_applies_total",
+        "Update-batch applies by maintenance decision "
+        "(incremental = IVM, compacted = cold rebuild, noop = empty batch).",
+        labels=("mode",),
+    ).inc(mode=outcome.mode)
+    if outcome.mode == "compacted":
+        registry.counter(
+            "repro_delta_compactions_total",
+            "Applies that fell back to a compacting cold rebuild.",
+        ).inc()
+    if "compaction" in outcome.ledger:
+        registry.counter(
+            "repro_delta_compactions_skipped_total",
+            "Threshold-crossing applies kept incremental because a "
+            "workload-free rebuild cannot reproduce the catalogs.",
+        ).inc()
+    age = _lineage_age_seconds(previous_applied_at)
+    if age is not None:
+        registry.gauge(
+            "repro_delta_lineage_age_seconds",
+            "Age of the previous delta generation when this apply landed "
+            "(staleness of the lineage between updates).",
+        ).set(round(age, 3))
+    telemetry.registry.gauge(
+        "repro_delta_generation",
+        "Artifact generation after the apply.",
+    ).set(outcome.generation)
+    telemetry.trace.note(
+        mode=outcome.mode,
+        generation=outcome.generation,
+        inserts=outcome.inserts,
+        deletes=outcome.deletes,
+    )
 
 
 @dataclass
@@ -219,6 +278,7 @@ def apply_updates(
     batch: UpdateBatch,
     directory: str | Path | None = None,
     compact_threshold: float = 0.2,
+    telemetry: JobTelemetry | None = None,
 ) -> MaintenanceOutcome:
     """Apply one update generation to a graph-attached store, in place.
 
@@ -227,6 +287,12 @@ def apply_updates(
     ``compact_threshold``), swaps ``store.graph`` to the new generation
     and, when ``directory`` is given, appends the versioned
     ``deltas/NNNN.json`` patch file and rewrites the manifest lineage.
+
+    ``telemetry`` (optional) records the apply as an offline-plane
+    trace — a ``maintain`` span (the IVM / cold-rebuild work), a
+    ``persist`` span (patch file + manifest I/O), decision counters and
+    a lineage-age gauge — without perturbing the outcome or any
+    artifact bytes.
     """
     if store.graph is None:
         raise DatasetError(
@@ -239,6 +305,7 @@ def apply_updates(
             "(stored counts may be missing); rebuild the artifact instead"
         )
     started = time.perf_counter()
+    previous_applied_at = store.manifest.last_delta_at
     # Maintenance diffs and mutates the catalog caches directly; fold
     # any flat array backing in first so deletions actually delete.
     store.markov.materialize()
@@ -248,7 +315,7 @@ def apply_updates(
     overlay.apply_batch(batch)
     parent_fingerprint = store.manifest.dataset_fingerprint
     if not overlay.pending:
-        return MaintenanceOutcome(
+        outcome = MaintenanceOutcome(
             mode="noop",
             generation=store.manifest.generation,
             parent_fingerprint=parent_fingerprint,
@@ -258,6 +325,8 @@ def apply_updates(
             deletes=0,
             seconds=time.perf_counter() - started,
         )
+        _observe_apply(telemetry, outcome, previous_applied_at)
+        return outcome
     inserts = overlay.pending_inserts
     deletes = overlay.pending_deletes
     new_graph = overlay.materialize()
@@ -287,6 +356,7 @@ def apply_updates(
     over_threshold = (
         overlay.pending > compact_threshold * max(new_graph.num_edges, 1)
     )
+    maintain_began = time.perf_counter()
     if compactable and over_threshold:
         _rebuild_cold(store, new_graph, outcome)
     else:
@@ -300,6 +370,16 @@ def apply_updates(
                 "an incomplete Markov table that a workload-free cold "
                 "rebuild cannot reproduce"
             )
+    if telemetry is not None:
+        telemetry.trace.add_span(
+            "maintain",
+            maintain_began,
+            time.perf_counter() - maintain_began,
+            generation=generation,
+            mode=outcome.mode,
+            inserts=len(inserts),
+            deletes=len(deletes),
+        )
 
     store.graph = new_graph
     store.markov.graph = new_graph if store.markov.graph is not None else None
@@ -332,6 +412,7 @@ def apply_updates(
     if outcome.mode == "compacted" or directory is None:
         manifest.compacted_generation = generation
 
+    persist_began = time.perf_counter()
     if directory is not None:
         directory = Path(directory)
         payload = {
@@ -374,7 +455,16 @@ def apply_updates(
             store.save(directory)
         else:
             manifest.save(directory)
+        if telemetry is not None:
+            telemetry.trace.add_span(
+                "persist",
+                persist_began,
+                time.perf_counter() - persist_began,
+                generation=generation,
+                file=outcome.delta_file,
+            )
     outcome.seconds = time.perf_counter() - started
+    _observe_apply(telemetry, outcome, previous_applied_at)
     return outcome
 
 
@@ -597,13 +687,17 @@ def _rebuild_cold(
 
 
 def replay_graph(
-    base_graph: LabeledDiGraph, directory: str | Path
+    base_graph: LabeledDiGraph,
+    directory: str | Path,
+    telemetry: JobTelemetry | None = None,
 ) -> LabeledDiGraph:
     """Re-derive an artifact's current graph from its base dataset.
 
     Verifies the whole lineage: the base graph must fingerprint to the
     manifest's ``base_fingerprint``, every delta's parent must chain,
-    and the final graph must land on ``dataset_fingerprint``.
+    and the final graph must land on ``dataset_fingerprint``.  With
+    ``telemetry``, each generation's re-derivation lands as a
+    ``generation`` span (update count + fingerprint attrs).
     """
     directory = Path(directory)
     manifest = StoreManifest.load(directory)
@@ -627,9 +721,11 @@ def replay_graph(
                 "in-memory and has no persisted update log; the graph "
                 "cannot be re-derived from the base dataset"
             )
+        began = time.perf_counter()
         payload = read_delta(directory, str(entry["file"]))
         overlay = MutableGraphOverlay(graph)
-        overlay.apply_batch(UpdateBatch.from_payload(payload["updates"]))
+        batch = UpdateBatch.from_payload(payload["updates"])
+        overlay.apply_batch(batch)
         graph = overlay.materialize()
         fingerprint = dataset_fingerprint(graph)
         if fingerprint != entry.get("fingerprint"):
@@ -638,6 +734,19 @@ def replay_graph(
                 f"fingerprint {fingerprint}, expected "
                 f"{entry.get('fingerprint')}"
             )
+        if telemetry is not None:
+            telemetry.trace.add_span(
+                "generation",
+                began,
+                time.perf_counter() - began,
+                generation=int(entry.get("generation", 0)),
+                updates=len(batch),
+                edges=graph.num_edges,
+            )
+            telemetry.registry.counter(
+                "repro_delta_replayed_generations_total",
+                "Delta generations re-derived during graph replay.",
+            ).inc()
     if fingerprint != manifest.dataset_fingerprint:
         raise DatasetError(
             f"replayed graph fingerprint {fingerprint} does not match the "

@@ -11,11 +11,26 @@ threads through every request:
 * :mod:`repro.obs.audit` — the sampled WanderJoin ground-truth q-error
   probe (the accuracy sensor of ROADMAP item 5);
 * :mod:`repro.obs.telemetry` — the per-process bundle tying the three
-  together behind one on/off switch.
+  together behind one on/off switch;
+* :mod:`repro.obs.offline` — the same record/exposition contract for
+  the batch jobs (``repro stats build``, ``repro updates ...``), plus
+  the textfile-collector writer;
+* :mod:`repro.obs.analyze` — the offline toolkit behind ``repro obs``:
+  summarize / span profile / audit report / trace grep over the NDJSON
+  logs either plane wrote.
 
-Nothing here imports ``repro.server``; the dependency points one way.
+Nothing here imports ``repro.server`` or the stats/delta planes; the
+dependency points one way.
 """
 
+from repro.obs.analyze import (
+    audit_report,
+    grep_trace,
+    iter_records,
+    load_records,
+    span_profile,
+    summarize,
+)
 from repro.obs.audit import AuditProbe, shape_class
 from repro.obs.metrics import (
     LATENCY_BUCKETS_MS,
@@ -29,6 +44,7 @@ from repro.obs.metrics import (
     parse_exposition,
     quantile_from_buckets,
 )
+from repro.obs.offline import JobTelemetry, write_textfile
 from repro.obs.telemetry import Telemetry
 from repro.obs.tracing import NdjsonSink, RequestTrace, Span, new_trace_id
 
@@ -50,4 +66,12 @@ __all__ = [
     "AuditProbe",
     "shape_class",
     "Telemetry",
+    "JobTelemetry",
+    "write_textfile",
+    "iter_records",
+    "load_records",
+    "summarize",
+    "span_profile",
+    "audit_report",
+    "grep_trace",
 ]

@@ -1,0 +1,336 @@
+"""Offline analysis over the observability plane's NDJSON logs.
+
+Everything the serving tier and the offline jobs write — ``trace``,
+``slow_query`` and ``audit`` records, one JSON object per line, across
+however many fleet workers shared the ``--trace-log`` path — lands in
+one file format, so one toolkit reads it back:
+
+* :func:`summarize` — per-verb / per-tenant / per-shape request counts
+  and p50/p95/p99 latency, plus the slow-query table.  Percentiles are
+  computed by bucketing ``wall_ms`` into the *same*
+  :data:`~repro.obs.metrics.LATENCY_BUCKETS_MS` the server's
+  ``repro_request_latency_ms`` histogram uses and interpolating with
+  :func:`~repro.obs.metrics.quantile_from_buckets` — the offline p99
+  and the live histogram's p99 agree to within one bucket by
+  construction.
+* :func:`span_profile` — flamegraph-style accounting: self time per
+  stage (a span's duration minus its children's), coalesce fan-in per
+  leader span, and the top-K self-time offenders with their trace ids.
+* :func:`audit_report` — the q-error distribution per
+  estimator × shape class from the audit probe's records, with the
+  worst examples (query, estimate, WanderJoin ground truth) named.
+* :func:`grep_trace` — reassemble one request: every record carrying a
+  trace id, plus follower traces whose ``coalesce`` spans reference it.
+
+Log reading follows the sink's rotation scheme: for a path ``t.ndjson``
+the chain ``t.ndjson.N`` … ``t.ndjson.1``, ``t.ndjson`` is read oldest
+first.  Malformed lines (a torn write from a SIGKILL'd worker) are
+counted and skipped, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    Q_ERROR_BUCKETS,
+    quantile_from_buckets,
+)
+
+__all__ = [
+    "iter_records",
+    "load_records",
+    "summarize",
+    "span_profile",
+    "audit_report",
+    "grep_trace",
+]
+
+
+def _rotation_chain(path: Path) -> list[Path]:
+    """One log path's rotation chain, oldest generation first."""
+    backups: list[Path] = []
+    generation = 1
+    while True:
+        candidate = path.with_name(f"{path.name}.{generation}")
+        if not candidate.exists():
+            break
+        backups.append(candidate)
+        generation += 1
+    chain = list(reversed(backups))
+    if path.exists():
+        chain.append(path)
+    return chain
+
+
+def iter_records(
+    paths: Iterable[str | Path], include_rotated: bool = True
+) -> Iterator[dict[str, Any]]:
+    """Parsed NDJSON records from ``paths`` (rotated backups included)."""
+    for given in paths:
+        given = Path(given)
+        chain = _rotation_chain(given) if include_rotated else [given]
+        for path in chain:
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail line from a killed writer
+                if isinstance(record, dict):
+                    yield record
+
+
+def load_records(
+    paths: Iterable[str | Path], include_rotated: bool = True
+) -> list[dict[str, Any]]:
+    return list(iter_records(paths, include_rotated))
+
+
+def _bucket_counts(
+    values: Iterable[float], bounds: tuple[float, ...]
+) -> list[int]:
+    counts = [0] * (len(bounds) + 1)
+    for value in values:
+        counts[bisect_left(bounds, value)] += 1
+    return counts
+
+
+def _latency_quantiles(values: list[float]) -> dict[str, float]:
+    """p50/p95/p99 through the server's own bucket estimator."""
+    counts = _bucket_counts(values, LATENCY_BUCKETS_MS)
+    return {
+        f"p{int(q * 100)}": round(
+            quantile_from_buckets(LATENCY_BUCKETS_MS, counts, q), 4
+        )
+        for q in (0.50, 0.95, 0.99)
+    }
+
+
+def summarize(
+    records: Iterable[dict[str, Any]], top: int = 10
+) -> dict[str, Any]:
+    """Request-level rollup: counts, latency quantiles, slow queries."""
+    traces: list[dict[str, Any]] = []
+    slow: list[dict[str, Any]] = []
+    other = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "trace":
+            traces.append(record)
+        elif kind == "slow_query":
+            slow.append(record)
+        else:
+            other += 1
+    by_verb: dict[str, list[float]] = defaultdict(list)
+    by_tenant: dict[str, int] = defaultdict(int)
+    by_shape: dict[str, int] = defaultdict(int)
+    errors = 0
+    for record in traces:
+        wall = float(record.get("wall_ms", 0.0))
+        by_verb[str(record.get("verb", "?"))].append(wall)
+        tenant = record.get("tenant")
+        if tenant:
+            by_tenant[str(tenant)] += 1
+        shape = record.get("shape")
+        if shape:
+            by_shape[str(shape)] += 1
+        if not record.get("ok", True):
+            errors += 1
+    walls = [wall for group in by_verb.values() for wall in group]
+    slow.sort(key=lambda r: -float(r.get("wall_ms", 0.0)))
+    return {
+        "traces": len(traces),
+        "errors": errors,
+        "other_records": other,
+        "latency_ms": _latency_quantiles(walls),
+        "verbs": {
+            verb: {"count": len(group), **_latency_quantiles(group)}
+            for verb, group in sorted(by_verb.items())
+        },
+        "tenants": dict(sorted(by_tenant.items())),
+        "shapes": dict(
+            sorted(by_shape.items(), key=lambda kv: -kv[1])[:top]
+        ),
+        "slow_queries": [
+            {
+                "trace_id": record.get("trace_id"),
+                "verb": record.get("verb"),
+                "tenant": record.get("tenant"),
+                "wall_ms": record.get("wall_ms"),
+                "threshold_ms": record.get("threshold_ms"),
+            }
+            for record in slow[:top]
+        ],
+    }
+
+
+def span_profile(
+    records: Iterable[dict[str, Any]], top: int = 10
+) -> dict[str, Any]:
+    """Flamegraph-style stage accounting across every trace record.
+
+    A stage's *self* time is its span duration minus its children's
+    (the ``exec`` span tiles over ``count``/``coalesce``, so exec self
+    time is dispatch overhead, not estimator work); coalesce fan-in
+    counts how many followers each leader span served.
+    """
+    self_ms: dict[str, float] = defaultdict(float)
+    total_ms: dict[str, float] = defaultdict(float)
+    counts: dict[str, int] = defaultdict(int)
+    fan_in: dict[str, int] = defaultdict(int)
+    offenders: list[tuple[float, str, Any, Any]] = []
+    for record in records:
+        if record.get("type") != "trace":
+            continue
+        spans = record.get("spans") or []
+        child_ms: dict[Any, float] = defaultdict(float)
+        for span in spans:
+            parent = span.get("parent")
+            if parent is not None:
+                child_ms[parent] += float(span.get("ms", 0.0))
+        for span in spans:
+            name = str(span.get("name", "?"))
+            ms = float(span.get("ms", 0.0))
+            own = max(ms - child_ms.get(span.get("span"), 0.0), 0.0)
+            self_ms[name] += own
+            total_ms[name] += ms
+            counts[name] += 1
+            shared = span.get("shared")
+            if name == "coalesce" and shared:
+                fan_in[str(shared)] += 1
+            offenders.append(
+                (own, name, record.get("trace_id"), span.get("span"))
+            )
+    offenders.sort(key=lambda item: -item[0])
+    return {
+        "stages": [
+            {
+                "stage": name,
+                "count": counts[name],
+                "total_ms": round(total_ms[name], 4),
+                "self_ms": round(self_ms[name], 4),
+                "mean_ms": round(total_ms[name] / counts[name], 4),
+            }
+            for name in sorted(self_ms, key=lambda n: -self_ms[n])
+        ],
+        "coalesce_fan_in": [
+            {"leader_span": ref, "followers": n}
+            for ref, n in sorted(fan_in.items(), key=lambda kv: -kv[1])[
+                :top
+            ]
+        ],
+        "top_offenders": [
+            {
+                "self_ms": round(own, 4),
+                "stage": name,
+                "trace_id": trace_id,
+                "span": span_id,
+            }
+            for own, name, trace_id, span_id in offenders[:top]
+        ],
+    }
+
+
+def audit_report(
+    records: Iterable[dict[str, Any]], top: int = 10
+) -> dict[str, Any]:
+    """Q-error distribution per estimator × shape class, worst first."""
+    samples = 0
+    cells: dict[tuple[str, str], list[float]] = defaultdict(list)
+    worst: list[tuple[float, str, dict[str, Any]]] = []
+    for record in records:
+        if record.get("type") != "audit":
+            continue
+        samples += 1
+        shape = str(record.get("shape_class", "?"))
+        for estimator, value in sorted(
+            (record.get("q_errors") or {}).items()
+        ):
+            q = float(value)
+            cells[(str(estimator), shape)].append(q)
+            worst.append((q, str(estimator), record))
+    worst.sort(key=lambda item: -item[0])
+    table = []
+    for (estimator, shape), values in sorted(cells.items()):
+        counts = _bucket_counts(values, Q_ERROR_BUCKETS)
+        finite = [value for value in values if value != float("inf")]
+        table.append(
+            {
+                "estimator": estimator,
+                "shape_class": shape,
+                "count": len(values),
+                "p50": round(
+                    quantile_from_buckets(Q_ERROR_BUCKETS, counts, 0.50), 4
+                ),
+                "p95": round(
+                    quantile_from_buckets(Q_ERROR_BUCKETS, counts, 0.95), 4
+                ),
+                "max": round(max(finite), 4) if finite else None,
+                "infinite": len(values) - len(finite),
+            }
+        )
+    return {
+        "samples": samples,
+        "cells": table,
+        "worst": [
+            {
+                "q_error": value if value != float("inf") else "inf",
+                "estimator": estimator,
+                "shape_class": record.get("shape_class"),
+                "query": record.get("query"),
+                "estimate": (record.get("estimates") or {}).get(
+                    estimator
+                ),
+                "truth": record.get("truth"),
+                "tenant": record.get("tenant"),
+            }
+            for value, estimator, record in worst[:top]
+        ],
+    }
+
+
+def grep_trace(
+    records: Iterable[dict[str, Any]], trace_id: str
+) -> dict[str, Any]:
+    """Every record of one request, across workers and record types.
+
+    Matches records carrying ``trace_id`` directly *and* follower
+    traces whose ``coalesce`` spans reference one of its spans (the
+    ``shared`` attribute is ``"<trace_id>:<span_id>"``), so a
+    coalesced request's cross-trace attribution is reassembled too.
+    """
+    matched: list[dict[str, Any]] = []
+    for record in records:
+        if record.get("trace_id") == trace_id:
+            matched.append(record)
+            continue
+        for span in record.get("spans") or []:
+            shared = span.get("shared")
+            if shared and str(shared).split(":", 1)[0] == trace_id:
+                matched.append(record)
+                break
+    matched.sort(key=lambda record: float(record.get("ts", 0.0)))
+    return {
+        "trace_id": trace_id,
+        "matches": len(matched),
+        "pids": sorted(
+            {
+                int(record["pid"])
+                for record in matched
+                if isinstance(record.get("pid"), int)
+            }
+        ),
+        "records": matched,
+    }

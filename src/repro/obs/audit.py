@@ -31,9 +31,11 @@ import queue
 import random
 import sys
 import threading
+import time
 from typing import Any, Callable
 
 from repro.obs.metrics import Q_ERROR_BUCKETS, MetricsRegistry
+from repro.obs.tracing import NdjsonSink
 
 __all__ = ["AuditProbe", "shape_class"]
 
@@ -60,15 +62,25 @@ class AuditProbe:
         queue_limit: int = 256,
         seed: int = 0,
         pace_seconds: float = 0.05,
+        sink: NdjsonSink | None = None,
     ):
         """``graph_loader(tenant)`` resolves the reference graph; it runs
-        on the probe thread (it may parse datasets) and may raise."""
+        on the probe thread (it may parse datasets) and may raise.
+
+        ``sink`` (optional, usually the server's trace-log sink) gets
+        one ``type: "audit"`` NDJSON record per audited sample — the
+        query, the shape class, every estimator's estimate, the
+        WanderJoin ground truth and the resulting q-errors — so the
+        offline ``repro obs audit`` analysis can show *which* queries
+        the histograms' tail came from.
+        """
         if not 0.0 <= rate <= 1.0:
             raise ValueError("audit rate must be within [0, 1]")
         self.rate = rate
         self.tenant = tenant
         self.walk_ratio = walk_ratio
         self.pace_seconds = pace_seconds
+        self.sink = sink
         self._graph_loader = graph_loader
         self._rng = random.Random(seed)
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
@@ -202,11 +214,31 @@ class AuditProbe:
         pattern = parse_pattern(query)
         truth = estimator.estimate(pattern, ratio=self.walk_ratio)
         bucket = shape_class(pattern)
+        errors: dict[str, float] = {}
         for name, value in sorted(estimates.items()):
+            errors[name] = q_error(value, truth)
             self.q_error.observe(
-                q_error(value, truth), estimator=name, shape_class=bucket
+                errors[name], estimator=name, shape_class=bucket
             )
             self.samples.inc(estimator=name)
+        if self.sink is not None:
+            self.sink.write(
+                {
+                    "type": "audit",
+                    "ts": time.time(),
+                    "pid": os.getpid(),
+                    "tenant": tenant,
+                    "query": query,
+                    "shape_class": bucket,
+                    "truth": truth,
+                    "walk_ratio": self.walk_ratio,
+                    "estimates": {
+                        name: float(value)
+                        for name, value in sorted(estimates.items())
+                    },
+                    "q_errors": errors,
+                }
+            )
 
     def _run(self) -> None:
         while not self._stop.is_set() or not self._queue.empty():
@@ -240,8 +272,6 @@ class AuditProbe:
 
     def drain(self, timeout: float = 10.0) -> None:
         """Block until queued samples are audited (tests/benchmarks)."""
-        import time
-
         deadline = time.monotonic() + timeout
         while (
             self._processed < self._enqueued

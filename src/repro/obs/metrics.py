@@ -76,6 +76,26 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    # HELP lines escape backslash and newline only (quotes stay raw).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_help(text: str) -> str:
+    out: list[str] = []
+    cursor = 0
+    while cursor < len(text):
+        char = text[cursor]
+        if char == "\\" and cursor + 1 < len(text):
+            nxt = text[cursor + 1]
+            out.append({"n": "\n", "\\": "\\"}.get(nxt, "\\" + nxt))
+            cursor += 2
+        else:
+            out.append(char)
+            cursor += 1
+    return "".join(out)
+
+
 def _format_value(value: float) -> str:
     if value == math.inf:
         return "+Inf"
@@ -148,7 +168,7 @@ class _Metric:
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help}",
+            f"# HELP {self.name} {_escape_help(self.help)}",
             f"# TYPE {self.name} {self.kind}",
         ]
         for labels, value in self.items():
@@ -248,7 +268,7 @@ class Histogram(_Metric):
 
     def render(self) -> list[str]:
         lines = [
-            f"# HELP {self.name} {self.help}",
+            f"# HELP {self.name} {_escape_help(self.help)}",
             f"# TYPE {self.name} {self.kind}",
         ]
         for labels, child in self.labeled():
@@ -403,21 +423,38 @@ def _parse_labels(body: str) -> tuple[tuple[str, str], ...]:
     labels: list[tuple[str, str]] = []
     position = 0
     while position < len(body):
-        equals = body.index("=", position)
+        equals = body.find("=", position)
+        if equals < 0:
+            raise ValueError(f"label without '=' in {body!r}")
         name = body[position:equals].strip().lstrip(",").strip()
+        if not name:
+            raise ValueError(f"empty label name in {body!r}")
         if equals + 1 >= len(body) or body[equals + 1] != '"':
             raise ValueError(f"unquoted label value in {body!r}")
         cursor = equals + 2
         value: list[str] = []
-        while body[cursor] != '"':
-            if body[cursor] == "\\":
+        while True:
+            if cursor >= len(body):
+                raise ValueError(f"unterminated label value in {body!r}")
+            char = body[cursor]
+            if char == '"':
+                break
+            if char == "\\":
+                if cursor + 1 >= len(body):
+                    raise ValueError(
+                        f"dangling escape in label value in {body!r}"
+                    )
                 escaped = body[cursor + 1]
+                # The three escapes the format defines decode; anything
+                # else keeps its backslash (lossless for foreign input).
                 value.append(
-                    {"n": "\n", "\\": "\\", '"': '"'}.get(escaped, escaped)
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(
+                        escaped, "\\" + escaped
+                    )
                 )
                 cursor += 2
             else:
-                value.append(body[cursor])
+                value.append(char)
                 cursor += 1
         labels.append((name, "".join(value)))
         position = cursor + 1
@@ -427,14 +464,16 @@ def _parse_labels(body: str) -> tuple[tuple[str, str], ...]:
 def parse_exposition(text: str) -> Exposition:
     """Parse Prometheus text exposition; raises ValueError on bad lines."""
     exposition = Exposition()
-    for raw in text.splitlines():
+    # Expositions are "\n"-framed; splitlines() would also split on
+    # \x1c-\x1e / \x85 / U+2028 inside label values and tear samples.
+    for raw in text.split("\n"):
         line = raw.strip()
         if not line:
             continue
         if line.startswith("# HELP "):
             _, _, rest = line.partition("# HELP ")
             name, _, help_text = rest.partition(" ")
-            exposition.helps[name] = help_text
+            exposition.helps[name] = _unescape_help(help_text)
             continue
         if line.startswith("# TYPE "):
             _, _, rest = line.partition("# TYPE ")
@@ -476,6 +515,11 @@ def merge_expositions(texts: Iterable[str]) -> str:
     fleet-wide sum (a worker's queue depth, a generation age), so the
     merged output carries counters and histograms only; scrape the
     per-worker slots for gauges.
+
+    A name registered with *different* types across expositions (one
+    worker's counter is another's gauge — a version skew) keeps the
+    first summable type seen; samples from expositions that disagree
+    are skipped rather than summed into the wrong family.
     """
     types: dict[str, str] = {}
     helps: dict[str, str] = {}
@@ -483,12 +527,18 @@ def merge_expositions(texts: Iterable[str]) -> str:
     order: list[tuple[str, tuple[tuple[str, str], ...]]] = []
     for text in texts:
         exposition = parse_exposition(text)
-        types.update(exposition.types)
-        helps.update(exposition.helps)
+        for name, kind in exposition.types.items():
+            if kind in ("counter", "histogram"):
+                types.setdefault(name, kind)
+        for name, help_text in exposition.helps.items():
+            helps.setdefault(name, help_text)
         for key, value in exposition.samples.items():
             family = _family_of(key[0], exposition.types)
-            if exposition.types.get(family) not in ("counter", "histogram"):
+            kind = exposition.types.get(family)
+            if kind not in ("counter", "histogram"):
                 continue
+            if types.get(family) != kind:
+                continue  # first summable type won; skip the dissenter
             if key not in merged:
                 merged[key] = 0.0
                 order.append(key)
@@ -500,7 +550,9 @@ def merge_expositions(texts: Iterable[str]) -> str:
         if family not in seen_families:
             seen_families.add(family)
             if family in helps:
-                lines.append(f"# HELP {family} {helps[family]}")
+                lines.append(
+                    f"# HELP {family} {_escape_help(helps[family])}"
+                )
             lines.append(f"# TYPE {family} {types.get(family, 'untyped')}")
         lines.append(
             _sample_line(name, dict(labels), merged[(name, labels)])

@@ -40,7 +40,7 @@ class Telemetry:
         self,
         registry: MetricsRegistry | None = None,
         sink: NdjsonSink | None = None,
-        slow_query_ms: float = 500.0,
+        slow_query_ms: float = 500.0,  # 0 disables the slow-query log
         audit: Any = None,
         enabled: bool = True,
         worker_index: int | None = None,
@@ -115,7 +115,8 @@ class Telemetry:
         wall_ms = seconds * 1000.0
         for stage, ms in trace.stage_totals().items():
             self.stage_ms.observe(ms, stage=stage)
-        slow = wall_ms >= self.slow_query_ms
+        # A threshold of 0 means "off", not "log every request".
+        slow = self.slow_query_ms > 0 and wall_ms >= self.slow_query_ms
         if slow:
             self.slow_queries.inc()
         if self.sink is None:

@@ -18,13 +18,15 @@ survives coalescing.
 
 Records are NDJSON lines written through :class:`NdjsonSink`: an
 ``O_APPEND`` fd (atomic line writes across the forked fleet workers
-that share one ``--trace-log`` path), with size-based rotation to
-``<path>.1`` and an inode check so sibling processes notice a rotation
-performed by someone else and reopen.
+that share one ``--trace-log`` path), with size-based rotation keeping
+``keep`` shifted backups (``<path>.1`` .. ``<path>.N``) and an inode
+check so sibling processes notice a rotation performed by someone else
+and reopen.
 """
 
 from __future__ import annotations
 
+import fcntl
 import json
 import os
 import secrets
@@ -180,14 +182,23 @@ class NdjsonSink:
 
     Lines are written with one ``os.write`` on an ``O_APPEND`` fd, so
     records from N fleet workers sharing the path interleave whole, not
-    torn.  When the file exceeds ``max_bytes`` it is atomically renamed
-    to ``<path>.1`` (one backup generation) and a fresh file starts;
-    sibling processes detect the rename via an inode check and reopen.
+    torn.  When the file exceeds ``max_bytes`` the rotated generations
+    shift up (``.N-1`` → ``.N``, ..., live file → ``.1``; the oldest of
+    the ``keep`` backups is discarded) and a fresh file starts; sibling
+    processes detect the rename via an inode check and reopen.
     """
 
-    def __init__(self, path: str | Path, max_bytes: int = 32 * 1024 * 1024):
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 32 * 1024 * 1024,
+        keep: int = 1,
+    ):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self.path = Path(path)
         self.max_bytes = int(max_bytes)
+        self.keep = int(keep)
         self._lock = threading.Lock()
         self._fd: int | None = None
 
@@ -208,6 +219,40 @@ class NdjsonSink:
             self._fd = None
             self._open()
 
+    def _rotate(self, pending: int) -> None:
+        """Shift the backup chain up one slot and retire the live file.
+
+        The shift is serialized across sibling processes with a sidecar
+        ``flock``: exactly one sibling performs it per era.  Two
+        interleaved shift loops would otherwise clobber generations —
+        ``os.replace`` overwrites its target, so a racing ``.1`` → ``.2``
+        lands on top of the ``.2`` the winner just populated and a whole
+        file of records vanishes.  Losers re-check under the lock, see a
+        fresh live inode (or one with room again), and skip; their
+        reopen then lands on the new live file via the inode check.
+        """
+        lock_fd = os.open(
+            f"{self.path}.lock", os.O_CREAT | os.O_WRONLY, 0o644
+        )
+        try:
+            fcntl.flock(lock_fd, fcntl.LOCK_EX)
+            assert self._fd is not None
+            try:
+                on_disk = os.stat(self.path)
+            except FileNotFoundError:
+                return  # a sibling rotated; reopen starts the new file
+            if on_disk.st_ino != os.fstat(self._fd).st_ino:
+                return  # a sibling already rotated this era
+            if on_disk.st_size + pending <= self.max_bytes:
+                return
+            for generation in range(self.keep - 1, 0, -1):
+                source = f"{self.path}.{generation}"
+                if os.path.exists(source):
+                    os.replace(source, f"{self.path}.{generation + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        finally:
+            os.close(lock_fd)
+
     def write(self, record: dict[str, Any]) -> None:
         """Append one record as a JSON line (never raises on I/O)."""
         line = (
@@ -221,10 +266,12 @@ class NdjsonSink:
                     self._reopen_if_rotated()
                 assert self._fd is not None
                 if os.fstat(self._fd).st_size + len(line) > self.max_bytes:
-                    # Atomic rename; a racing sibling's rename loses and
-                    # its reopen lands on the fresh file via the inode
-                    # check above.
-                    os.replace(self.path, f"{self.path}.1")
+                    try:
+                        self._rotate(len(line))
+                    except OSError:
+                        # Rotation failed (e.g. flock-less filesystem);
+                        # fall through to the reopen and keep the record.
+                        pass
                     self._reopen_if_rotated()
                 os.write(self._fd, line)
         except OSError:

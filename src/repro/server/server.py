@@ -112,8 +112,12 @@ class ServerConfig:
     trace_log_max_bytes: int = 32 * 1024 * 1024
     #: Requests slower than this are captured in the slow-query log
     #: (default 500 ms — ~200× the fleet's warm p50, so it fires on
-    #: genuine outliers, not on every cold CEG build).
+    #: genuine outliers, not on every cold CEG build).  0 disables the
+    #: slow-query log entirely.
     slow_query_ms: float = 500.0
+    #: Rotated trace-log generations kept on disk (``<path>.1`` ..
+    #: ``<path>.N``; the oldest is discarded on each rotation).
+    trace_log_keep: int = 1
     #: Fraction of served estimates re-run against WanderJoin ground
     #: truth by the background audit probe (0 disables it).
     audit_rate: float = 0.0
@@ -130,8 +134,10 @@ class ServerConfig:
             raise ValueError("queue_limit must be >= 0")
         if self.default_deadline_ms <= 0:
             raise ValueError("default_deadline_ms must be positive")
-        if self.slow_query_ms <= 0:
-            raise ValueError("slow_query_ms must be positive")
+        if self.slow_query_ms < 0:
+            raise ValueError("slow_query_ms must be >= 0 (0 disables)")
+        if self.trace_log_keep < 1:
+            raise ValueError("trace_log_keep must be >= 1")
         if not 0.0 <= self.audit_rate <= 1.0:
             raise ValueError("audit_rate must be within [0, 1]")
         if self.trace_log_max_bytes < 4096:
@@ -205,7 +211,11 @@ class EstimationServer:
         """
         config = self.config
         sink = (
-            NdjsonSink(config.trace_log, config.trace_log_max_bytes)
+            NdjsonSink(
+                config.trace_log,
+                config.trace_log_max_bytes,
+                keep=config.trace_log_keep,
+            )
             if config.telemetry and config.trace_log
             else None
         )
@@ -218,6 +228,7 @@ class EstimationServer:
                 rate=config.audit_rate,
                 tenant=config.audit_tenant,
                 walk_ratio=config.audit_walk_ratio,
+                sink=sink,
             )
         telemetry = Telemetry(
             registry=registry,
@@ -289,6 +300,34 @@ class EstimationServer:
             "Artifact images attached from the shared-memory plane.",
             callback=lambda: (self.registry.plane_stats() or {}).get(
                 "attaches", 0
+            ),
+        )
+        registry.counter(
+            "repro_artifact_plane_steals_total",
+            "Dead builders' claims stolen (crash-safe publish recovery).",
+            callback=lambda: (self.registry.plane_stats() or {}).get(
+                "steals", 0
+            ),
+        )
+        registry.counter(
+            "repro_artifact_plane_prunes_total",
+            "Dead pids swept from segment refcount tables.",
+            callback=lambda: (self.registry.plane_stats() or {}).get(
+                "prunes", 0
+            ),
+        )
+        registry.gauge(
+            "repro_artifact_plane_segments",
+            "Published shared-memory images currently on this host.",
+            callback=lambda: (self.registry.plane_stats() or {}).get(
+                "segments", 0
+            ),
+        )
+        registry.gauge(
+            "repro_artifact_plane_segment_bytes",
+            "Total bytes of the published shared-memory images.",
+            callback=lambda: (self.registry.plane_stats() or {}).get(
+                "segment_bytes", 0
             ),
         )
         registry.counter(
@@ -1284,7 +1323,16 @@ def _aggregate_fleet_stats(
         "deadline_exceeded_total": 0,
         "abandoned": 0,
     }
-    plane = {"disk_parses": 0, "publishes": 0, "attaches": 0}
+    # Summable plane counters only: segments/segment_bytes are per-host
+    # point-in-time readings every worker reports identically, so a sum
+    # would multiply them by the fleet size.
+    plane = {
+        "disk_parses": 0,
+        "publishes": 0,
+        "attaches": 0,
+        "steals": 0,
+        "prunes": 0,
+    }
     memory = {"uss_kb_total": 0.0, "uss_kb_max": 0.0, "rss_kb_max": 0.0}
     reporting = 0
     for _index, slot in sorted(workers.items(), key=lambda kv: int(kv[0])):

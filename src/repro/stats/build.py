@@ -87,6 +87,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.graph.digraph import LabeledDiGraph
+from repro.obs.offline import JobTelemetry
 from repro.query.canonical import canonical_key, canonical_pattern
 from repro.query.pattern import QueryEdge, QueryPattern
 from repro.query.shape import largest_cycle_length
@@ -276,6 +277,9 @@ class _TaskResult:
     examined: int = 0
     markov_complete: bool = True
     degrees_complete: bool = True
+    #: Wall seconds this task took in its worker — telemetry only,
+    #: never serialized into the artifact or the checkpoint.
+    seconds: float = 0.0
 
 
 def _record_pattern(
@@ -423,13 +427,17 @@ def _run_build_task(task: tuple) -> _TaskResult:
     assert _WORKER_CONTEXT is not None, "worker context not initialised"
     graph, config = _WORKER_CONTEXT
     kind = task[0]
+    began = time.perf_counter()
     if kind == "seed":
-        return _full_shard_task(graph, config, task[1], None)
-    if kind == "grow":
-        return _full_shard_task(graph, config, task[1], task[2])
-    if kind == "count":
-        return _workload_chunk_task(graph, config, task[1])
-    raise AssertionError(f"unknown build task kind {kind!r}")
+        result = _full_shard_task(graph, config, task[1], None)
+    elif kind == "grow":
+        result = _full_shard_task(graph, config, task[1], task[2])
+    elif kind == "count":
+        result = _workload_chunk_task(graph, config, task[1])
+    else:
+        raise AssertionError(f"unknown build task kind {kind!r}")
+    result.seconds = time.perf_counter() - began
+    return result
 
 
 class _TaskRunner:
@@ -689,14 +697,100 @@ def _load_or_fresh_state(
     checkpoint: _BuildCheckpoint | None,
     resume: bool,
     num_shards: int,
+    telemetry: JobTelemetry | None = None,
 ) -> _BuildState:
     if checkpoint is not None and resume:
         state = checkpoint.load()
         if state is not None:
+            if telemetry is not None and state.completed_levels:
+                # Resume event: note which levels the checkpoint
+                # already covered so a trace reader can tell replayed
+                # progress from fresh enumeration work.
+                telemetry.trace.note(
+                    resumed_levels=list(state.completed_levels)
+                )
+                telemetry.registry.counter(
+                    "repro_build_resumes_total",
+                    "Builds resumed from a per-level checkpoint.",
+                ).inc()
             return state
     state = _BuildState()
     state.frontiers = [[] for _ in range(num_shards)]
     return state
+
+
+def _observe_level(
+    telemetry: JobTelemetry | None,
+    began: float,
+    entry: dict,
+    results: Sequence[_TaskResult],
+    shards: Sequence[int],
+) -> None:
+    """One completed level's span tree + counters (no-op untraced).
+
+    The level span carries the same ``{examined, stored, frontier}``
+    counters the manifest's ``levels`` table stores; under ``jobs=N``
+    each shard task contributes a child span with its own worker-side
+    wall time (start offsets inside the pool are unknown, so shard
+    spans share the level's start and report duration only).
+    """
+    if telemetry is None:
+        return
+    trace = telemetry.trace
+    span = trace.add_span(
+        "level",
+        began,
+        entry["seconds"],
+        level=entry["level"],
+        examined=entry["examined"],
+        stored=entry["stored"],
+        frontier=entry["frontier"],
+        jobs=entry["jobs"],
+    )
+    for shard, result in zip(shards, results):
+        trace.add_span(
+            "shard",
+            began,
+            result.seconds,
+            parent=span.span_id,
+            shard=shard,
+            examined=result.examined,
+            stored=len(result.records),
+        )
+    registry = telemetry.registry
+    registry.counter(
+        "repro_build_levels_total",
+        "Enumeration levels completed by this build job.",
+    ).inc()
+    registry.counter(
+        "repro_build_examined_total",
+        "Candidate patterns examined by the enumeration.",
+    ).inc(entry["examined"])
+    registry.counter(
+        "repro_build_stored_total",
+        "Pattern statistics stored by the enumeration.",
+    ).inc(entry["stored"])
+    registry.gauge(
+        "repro_build_frontier",
+        "Patterns on the live frontier after the last level.",
+    ).set(entry["frontier"])
+
+
+def _observe_checkpoint(
+    telemetry: JobTelemetry | None, began: float, level: int
+) -> None:
+    if telemetry is None:
+        return
+    telemetry.trace.add_span(
+        "checkpoint",
+        began,
+        time.perf_counter() - began,
+        level=level,
+    )
+    telemetry.registry.counter(
+        "repro_build_checkpoints_total",
+        "Per-level resume checkpoints written by this build job.",
+    ).inc()
 
 
 def _maybe_stop(
@@ -718,12 +812,13 @@ def _enumerate_full_leveled(
     checkpoint: _BuildCheckpoint | None,
     resume: bool,
     stop_after_level: int | None,
+    telemetry: JobTelemetry | None = None,
 ) -> tuple[_Enumeration, list[dict]]:
     """Grow all non-empty connected patterns up to ``max(h, molp_h)``,
     one min-label shard per task, level-synchronously."""
     h_enum = max(config.h, config.molp_h)
     labels = graph.labels
-    state = _load_or_fresh_state(checkpoint, resume, len(labels))
+    state = _load_or_fresh_state(checkpoint, resume, len(labels), telemetry)
     start_level = (
         max(state.completed_levels) if state.completed_levels else 0
     )
@@ -755,8 +850,13 @@ def _enumerate_full_leveled(
             jobs=runner.jobs,
             frontier_by_shard=frontier_by_shard,
         )
+        _observe_level(
+            telemetry, began, state.level_stats[-1], results, shards
+        )
         if checkpoint is not None:
+            ck_began = time.perf_counter()
             checkpoint.save(state)
+            _observe_checkpoint(telemetry, ck_began, level)
         _maybe_stop(checkpoint, stop_after_level, level)
     return state.to_enumeration(), state.level_stats
 
@@ -792,6 +892,7 @@ def _enumerate_workload_leveled(
     resume: bool,
     stop_after_level: int | None,
     skip: set[tuple] | None = None,
+    telemetry: JobTelemetry | None = None,
 ) -> tuple[_Enumeration, list[dict]]:
     """Count each canonical subpattern the workload needs, exactly once,
     level = pattern size, each level sharded into sorted key chunks."""
@@ -803,7 +904,7 @@ def _enumerate_workload_leveled(
     by_size: dict[int, list[tuple]] = {}
     for key in keys:
         by_size.setdefault(len(key), []).append(key)
-    state = _load_or_fresh_state(checkpoint, resume, 0)
+    state = _load_or_fresh_state(checkpoint, resume, 0, telemetry)
     done = set(state.completed_levels)
     for size in sorted(by_size):
         if size in done:
@@ -822,8 +923,17 @@ def _enumerate_workload_leveled(
             jobs=runner.jobs,
             frontier_by_shard=None,
         )
+        _observe_level(
+            telemetry,
+            began,
+            state.level_stats[-1],
+            results,
+            range(len(chunks)),
+        )
         if checkpoint is not None:
+            ck_began = time.perf_counter()
             checkpoint.save(state)
+            _observe_checkpoint(telemetry, ck_began, size)
         _maybe_stop(checkpoint, stop_after_level, size)
     enumeration, level_stats = state.to_enumeration(), state.level_stats
     # The workload defines scope, not the stored hit set: misses are
@@ -906,6 +1016,7 @@ def build_statistics(
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
     stop_after_level: int | None = None,
+    telemetry: JobTelemetry | None = None,
 ) -> StatisticsStore:
     """Bulk-build a :class:`StatisticsStore` for ``graph``.
 
@@ -922,6 +1033,11 @@ def build_statistics(
     (requires a checkpoint) raises :class:`BuildInterrupted` once that
     level's checkpoint is durable — the hook the interruption tests and
     the CI resume smoke use in place of ``kill -9``.
+
+    ``telemetry`` (a :class:`~repro.obs.offline.JobTelemetry`) records
+    per-level/per-shard spans plus build counters and an edges/sec
+    gauge on the bundle; it never touches the artifact — bytes stay
+    identical with telemetry on, off, serial, parallel, or resumed.
     """
     config = config or StatsBuildConfig()
     started = time.perf_counter()
@@ -947,17 +1063,43 @@ def build_statistics(
     try:
         if workload is None:
             enumeration, level_stats = _enumerate_full_leveled(
-                graph, config, runner, checkpoint, resume, stop_after_level
+                graph, config, runner, checkpoint, resume,
+                stop_after_level, telemetry,
             )
         else:
             enumeration, level_stats = _enumerate_workload_leveled(
                 graph, workload, config, runner, checkpoint, resume,
-                stop_after_level,
+                stop_after_level, telemetry=telemetry,
             )
     finally:
         runner.close()
     if checkpoint is not None:
         checkpoint.clear()
+    if telemetry is not None:
+        build_seconds = time.perf_counter() - started
+        telemetry.trace.note(
+            mode=mode,
+            jobs=max(1, int(jobs)),
+            enumerated=enumeration.enumerated,
+            edges=graph.num_edges,
+        )
+        registry = telemetry.registry
+        registry.gauge(
+            "repro_build_seconds",
+            "Wall seconds of the last statistics build.",
+        ).set(round(build_seconds, 6))
+        registry.gauge(
+            "repro_build_edges_per_second",
+            "Graph edges divided by build wall time (throughput).",
+        ).set(
+            round(graph.num_edges / build_seconds, 3)
+            if build_seconds > 0
+            else 0.0
+        )
+        registry.gauge(
+            "repro_build_peak_level_width",
+            "Widest level (stored patterns) of the last build.",
+        ).set(max((entry["stored"] for entry in level_stats), default=0))
 
     markov = MarkovTable(
         graph,

@@ -114,13 +114,23 @@ class SegmentHandle:
     this process's pid and unlinks the segment when the table empties.
     """
 
-    def __init__(self, path: Path, fd: int, buf: mmap.mmap, meta: dict):
+    def __init__(
+        self,
+        path: Path,
+        fd: int,
+        buf: mmap.mmap,
+        meta: dict,
+        on_prune=None,
+    ):
         self.path = path
         self._fd = fd
         self._buf = buf
         self.meta = meta
         self.registered_pid = 0
         self._closed = False
+        #: Called with the number of dead pids swept from the refcount
+        #: table (the owning plane counts them for its stats/metrics).
+        self._on_prune = on_prune
 
     @property
     def name(self) -> str:
@@ -144,16 +154,20 @@ class SegmentHandle:
     # -- refcount -----------------------------------------------------
     def _mutate_pids(self, mutate) -> int:
         """Run ``mutate(pids) -> pids`` on the table under flock."""
+        pruned = 0
         fcntl.flock(self._fd, fcntl.LOCK_EX)
         try:
             table = self._buf[
                 PID_TABLE_OFFSET : PID_TABLE_OFFSET + 8 * PID_SLOTS
             ]
-            pids = [
-                pid
-                for pid in struct.unpack(f"<{PID_SLOTS}q", table)
-                if _pid_alive(pid)
-            ]
+            pids = []
+            for pid in struct.unpack(f"<{PID_SLOTS}q", table):
+                if pid <= 0:
+                    continue
+                if _pid_alive(pid):
+                    pids.append(pid)
+                else:
+                    pruned += 1
             pids = mutate(pids)
             if len(pids) > PID_SLOTS:  # pragma: no cover - 128 procs/host
                 pids = pids[:PID_SLOTS]
@@ -166,6 +180,8 @@ class SegmentHandle:
             return len(pids)
         finally:
             fcntl.flock(self._fd, fcntl.LOCK_UN)
+            if pruned and self._on_prune is not None:
+                self._on_prune(pruned)
 
     def register(self) -> None:
         """Add one reference for this process to the refcount table.
@@ -238,6 +254,8 @@ class SharedArtifactPlane:
         self.root = Path(root) if root is not None else shm_root()
         self.publishes = 0
         self.attaches = 0
+        self.steals = 0
+        self.prunes = 0
 
     @classmethod
     def create(cls) -> "SharedArtifactPlane | None":
@@ -265,8 +283,34 @@ class SharedArtifactPlane:
             path.name for path in self.root.glob("repro-img-*")
         ) + sorted(path.name for path in self.root.glob("repro-clm-*"))
 
+    def segment_usage(self) -> tuple[int, int]:
+        """``(count, bytes)`` of the READY/published images on this host.
+
+        Counts ``repro-img-*`` files only (claims are transient and
+        tiny); in-flight ``.tmp<pid>`` spills are excluded.
+        """
+        count = 0
+        total = 0
+        for path in self.root.glob("repro-img-*"):
+            if ".tmp" in path.name:
+                continue
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+        return count, total
+
     def stats(self) -> dict:
-        return {"publishes": self.publishes, "attaches": self.attaches}
+        count, total = self.segment_usage()
+        return {
+            "publishes": self.publishes,
+            "attaches": self.attaches,
+            "steals": self.steals,
+            "prunes": self.prunes,
+            "segments": count,
+            "segment_bytes": total,
+        }
 
     # -- attach -------------------------------------------------------
     def try_attach(self, key: str) -> SegmentHandle | None:
@@ -286,6 +330,7 @@ class SharedArtifactPlane:
                 return None
             if not _pid_alive(claim_pid):
                 self._steal_claim(key, claim_pid)
+                self.steals += 1
                 return None
             if time.monotonic() > deadline:  # pragma: no cover - hung peer
                 return None
@@ -316,7 +361,9 @@ class SharedArtifactPlane:
                     "utf-8"
                 )
             )
-            handle = SegmentHandle(path, fd, buf, meta)
+            handle = SegmentHandle(
+                path, fd, buf, meta, on_prune=self._note_prunes
+            )
             handle.register()
             return handle
         except (OSError, ValueError, struct.error):
@@ -327,6 +374,9 @@ class SharedArtifactPlane:
                     pass
             os.close(fd)
             return None
+
+    def _note_prunes(self, count: int) -> None:
+        self.prunes += count
 
     def _claimant(self, key: str) -> int | None:
         try:
@@ -501,7 +551,11 @@ class SharedArtifactPlane:
                 pass
             raise
         handle = SegmentHandle(
-            path, fd, buf, json.loads(meta_blob.decode("utf-8"))
+            path,
+            fd,
+            buf,
+            json.loads(meta_blob.decode("utf-8")),
+            on_prune=self._note_prunes,
         )
         handle.register()
         return handle
